@@ -1,0 +1,329 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation (§6) and prints them as aligned text tables. Its output is
+// the source of the measured columns in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchtables [-quick] [-csv DIR]
+//	            [-only table1|table2|table3|fig7|fig8|fig9|fig10|fig11|ablation]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"specinfer/internal/bench"
+	"specinfer/internal/sampling"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller workloads (faster, noisier)")
+	only := flag.String("only", "", "render a single experiment")
+	csvDir := flag.String("csv", "", "also write one CSV per experiment into this directory")
+	flag.Parse()
+
+	scale := 1
+	if *quick {
+		scale = 2
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		csvOut = *csvDir
+	}
+
+	runAll := *only == ""
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+
+	if runAll || *only == "table1" {
+		table1(w, scale)
+	}
+	if runAll || *only == "table2" {
+		table2(w, scale)
+	}
+	if runAll || *only == "table3" {
+		table3(w, scale)
+	}
+	if runAll || *only == "fig7" {
+		figure7(w, scale)
+	}
+	if runAll || *only == "fig8" {
+		figure8(w, scale)
+	}
+	if runAll || *only == "fig9" {
+		figure9(w, scale)
+	}
+	if runAll || *only == "fig10" {
+		figure10(w, scale)
+	}
+	if runAll || *only == "fig11" {
+		figure11(w, scale)
+	}
+	if runAll || *only == "ablation" {
+		ablation(w, scale)
+	}
+	if !runAll {
+		switch *only {
+		case "table1", "table2", "table3", "fig7", "fig8", "fig9", "fig10", "fig11", "ablation":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
+			os.Exit(2)
+		}
+	}
+}
+
+// csvOut, when non-empty, receives one CSV file per experiment.
+var csvOut string
+
+// writeCSV writes rows (first row = header) to name.csv under csvOut.
+func writeCSV(name string, rows [][]string) {
+	if csvOut == "" {
+		return
+	}
+	f, err := os.Create(filepath.Join(csvOut, name+".csv"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csv:", err)
+		return
+	}
+	defer f.Close()
+	cw := csv.NewWriter(f)
+	if err := cw.WriteAll(rows); err != nil {
+		fmt.Fprintln(os.Stderr, "csv:", err)
+	}
+}
+
+func header(w *tabwriter.Writer, title string) {
+	w.Flush()
+	fmt.Println()
+	fmt.Println("## " + title)
+	fmt.Println()
+}
+
+func modeName(m sampling.Mode) string {
+	if m == sampling.Greedy {
+		return "greedy"
+	}
+	return "stochastic"
+}
+
+func table1(w *tabwriter.Writer, scale int) {
+	header(w, "Table 1 — success rate of verifying a token using the SSM's top-k")
+	rows := bench.Table1(bench.Table1Config{Prompts: 40 / scale, Steps: 64})
+	fmt.Fprintln(w, "mode\tdataset\tk=1\tk=2\tk=3\tk=4\tk=5")
+	recs := [][]string{{"mode", "dataset", "k1", "k2", "k3", "k4", "k5"}}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%.0f%%\t%.0f%%\t%.0f%%\t%.0f%%\t%.0f%%\n",
+			modeName(r.Mode), r.Dataset,
+			r.Rate[0]*100, r.Rate[1]*100, r.Rate[2]*100, r.Rate[3]*100, r.Rate[4]*100)
+		rec := []string{modeName(r.Mode), r.Dataset}
+		for k := 0; k < 5; k++ {
+			rec = append(rec, strconv.FormatFloat(r.Rate[k], 'f', 4, 64))
+		}
+		recs = append(recs, rec)
+	}
+	writeCSV("table1", recs)
+}
+
+func table2(w *tabwriter.Writer, scale int) {
+	header(w, "Table 2 — average tokens verified per decoding step (speculation length 8)")
+	rows := bench.Table2(bench.Table2Config{Requests: 16 / scale, GenLen: 128 / scale})
+	fmt.Fprintln(w, "mode\tdataset\tw=1\tw=2\tw=3\tw=4\tw=5")
+	recs := [][]string{{"mode", "dataset", "w1", "w2", "w3", "w4", "w5"}}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			modeName(r.Mode), r.Dataset, r.Avg[0], r.Avg[1], r.Avg[2], r.Avg[3], r.Avg[4])
+		rec := []string{modeName(r.Mode), r.Dataset}
+		for k := 0; k < 5; k++ {
+			rec = append(rec, strconv.FormatFloat(r.Avg[k], 'f', 3, 64))
+		}
+		recs = append(recs, rec)
+	}
+	writeCSV("table2", recs)
+}
+
+func table3(w *tabwriter.Writer, scale int) {
+	header(w, "Table 3 — naive sampling vs multi-step speculative sampling (width 5, depth 8)")
+	rows := bench.Table3(bench.Table2Config{Requests: 16 / scale, GenLen: 128 / scale})
+	fmt.Fprintln(w, "dataset\tnaive\tMSS\timprovement")
+	recs := [][]string{{"dataset", "naive", "mss", "improvement"}}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%.2fx\n", r.Dataset, r.Naive, r.MSS, r.Improvement)
+		recs = append(recs, []string{r.Dataset,
+			strconv.FormatFloat(r.Naive, 'f', 3, 64),
+			strconv.FormatFloat(r.MSS, 'f', 3, 64),
+			strconv.FormatFloat(r.Improvement, 'f', 3, 64)})
+	}
+	writeCSV("table3", recs)
+}
+
+func figure7(w *tabwriter.Writer, scale int) {
+	header(w, "Figure 7 — distributed serving per-token latency (ms)")
+	pts := bench.Figure7(bench.LatencyConfig{GenLen: 128 / scale})
+	recs := [][]string{{"deployment", "system", "batch", "ms_per_token"}}
+	for _, p := range pts {
+		recs = append(recs, []string{p.Deployment, p.System,
+			strconv.Itoa(p.BatchSize), strconv.FormatFloat(p.PerTokenMS, 'f', 2, 64)})
+	}
+	writeCSV("figure7", recs)
+	byDep := map[string]map[string]map[int]float64{}
+	var depOrder, sysOrder []string
+	for _, p := range pts {
+		if byDep[p.Deployment] == nil {
+			byDep[p.Deployment] = map[string]map[int]float64{}
+			depOrder = append(depOrder, p.Deployment)
+		}
+		if byDep[p.Deployment][p.System] == nil {
+			byDep[p.Deployment][p.System] = map[int]float64{}
+			if len(depOrder) == 1 {
+				sysOrder = append(sysOrder, p.System)
+			}
+		}
+		byDep[p.Deployment][p.System][p.BatchSize] = p.PerTokenMS
+	}
+	for _, dep := range depOrder {
+		fmt.Fprintf(w, "%s\tBS=1\tBS=2\tBS=4\tBS=8\tBS=16\n", dep)
+		for _, sys := range sysOrder {
+			m := byDep[dep][sys]
+			fmt.Fprintf(w, "  %s\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
+				sys, m[1], m[2], m[4], m[8], m[16])
+		}
+		fmt.Fprintln(w, "\t\t\t\t\t")
+	}
+}
+
+func figure8(w *tabwriter.Writer, scale int) {
+	header(w, "Figure 8 — offloading-based per-token latency (s) on one A10")
+	pts := bench.Figure8(bench.LatencyConfig{GenLen: 128 / scale})
+	recs := [][]string{{"model", "system", "batch", "s_per_token", "speedup_vs_flexgen"}}
+	for _, p := range pts {
+		recs = append(recs, []string{p.Model, p.System, strconv.Itoa(p.BatchSize),
+			strconv.FormatFloat(p.PerTokenS, 'f', 3, 64),
+			strconv.FormatFloat(p.SpeedupVsF, 'f', 2, 64)})
+	}
+	writeCSV("figure8", recs)
+	fmt.Fprintln(w, "model\tsystem\tBS=1\tBS=2\tBS=4\tBS=8\tBS=16")
+	type k struct{ m, s string }
+	vals := map[k]map[int]float64{}
+	speed := map[k]map[int]float64{}
+	var order []k
+	for _, p := range pts {
+		kk := k{p.Model, p.System}
+		if vals[kk] == nil {
+			vals[kk] = map[int]float64{}
+			speed[kk] = map[int]float64{}
+			order = append(order, kk)
+		}
+		vals[kk][p.BatchSize] = p.PerTokenS
+		speed[kk][p.BatchSize] = p.SpeedupVsF
+	}
+	for _, kk := range order {
+		fmt.Fprintf(w, "%s\t%s\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			kk.m, kk.s, vals[kk][1], vals[kk][2], vals[kk][4], vals[kk][8], vals[kk][16])
+		if strings.Contains(kk.s, "tree") {
+			fmt.Fprintf(w, "\tspeedup vs FlexGen\t%.2fx\t%.2fx\t%.2fx\t%.2fx\t%.2fx\n",
+				speed[kk][1], speed[kk][2], speed[kk][4], speed[kk][8], speed[kk][16])
+		}
+	}
+}
+
+func figure9(w *tabwriter.Writer, scale int) {
+	header(w, "Figure 9 — CDF of avg verified tokens per step (Alpaca), deciles")
+	series := bench.Figure9(bench.Figure9Config{Requests: 32 / scale, GenLen: 128 / scale})
+	recs := [][]string{{"mode", "width", "value", "cdf"}}
+	for _, s := range series {
+		for _, pt := range s.CDF {
+			recs = append(recs, []string{modeName(s.Mode), strconv.Itoa(s.Width),
+				strconv.FormatFloat(pt.Value, 'f', 4, 64),
+				strconv.FormatFloat(pt.P, 'f', 4, 64)})
+		}
+	}
+	writeCSV("figure9", recs)
+	fmt.Fprintln(w, "mode\twidth\tmean\tp10\tp30\tp50\tp70\tp90")
+	for _, s := range series {
+		q := quantiles(s, []float64{0.1, 0.3, 0.5, 0.7, 0.9})
+		fmt.Fprintf(w, "%s\tw=%d\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\t%.2f\n",
+			modeName(s.Mode), s.Width, s.Mean, q[0], q[1], q[2], q[3], q[4])
+	}
+}
+
+func quantiles(s bench.Figure9Series, qs []float64) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		// walk the CDF
+		v := s.CDF[0].Value
+		for _, pt := range s.CDF {
+			if pt.P <= q {
+				v = pt.Value
+			}
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func figure10(w *tabwriter.Writer, scale int) {
+	header(w, "Figure 10 — per-token latency (ms) by tree width and batch size (LLaMA-7B)")
+	pts := bench.Figure10(bench.LatencyConfig{GenLen: 128 / scale})
+	recs := [][]string{{"width", "batch", "ms_per_token"}}
+	for _, p := range pts {
+		recs = append(recs, []string{strconv.Itoa(p.Width), strconv.Itoa(p.BatchSize),
+			strconv.FormatFloat(p.PerTokenMS, 'f', 2, 64)})
+	}
+	writeCSV("figure10", recs)
+	m := map[int]map[int]float64{}
+	for _, p := range pts {
+		if m[p.Width] == nil {
+			m[p.Width] = map[int]float64{}
+		}
+		m[p.Width][p.BatchSize] = p.PerTokenMS
+	}
+	fmt.Fprintln(w, "width\tBS=1\tBS=2\tBS=4\tBS=8\tBS=16")
+	for wd := 1; wd <= 5; wd++ {
+		fmt.Fprintf(w, "%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\n",
+			wd, m[wd][1], m[wd][2], m[wd][4], m[wd][8], m[wd][16])
+	}
+}
+
+func ablation(w *tabwriter.Writer, scale int) {
+	header(w, "Ablation — design choices (Alpaca, avg tokens per LLM step)")
+	rows := bench.Ablation(bench.Table2Config{Requests: 12 / scale, GenLen: 96 / scale})
+	fmt.Fprintln(w, "configuration\tmode\ttokens/step")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%s\t%.2f\n", r.Name, modeName(r.Mode), r.AvgTok)
+	}
+	b := bench.BoostAblation(120 / scale)
+	fmt.Fprintf(w, "boost-tuning coverage (pool of %d)\t\t", b.PoolSize)
+	for i, c := range b.Covered {
+		if i > 0 {
+			fmt.Fprint(w, " -> ")
+		}
+		fmt.Fprintf(w, "%d/%d", c, b.Total)
+	}
+	fmt.Fprintln(w)
+}
+
+func figure11(w *tabwriter.Writer, scale int) {
+	header(w, "Figure 11 — tree-based vs sequence-based parallel decoding (ms per token)")
+	pts := bench.Figure11(bench.LatencyConfig{GenLen: 128 / scale})
+	recs := [][]string{{"batch", "tree_ms", "sequence_ms", "speedup"}}
+	for _, p := range pts {
+		recs = append(recs, []string{strconv.Itoa(p.BatchSize),
+			strconv.FormatFloat(p.TreeMS, 'f', 2, 64),
+			strconv.FormatFloat(p.SequenceMS, 'f', 2, 64),
+			strconv.FormatFloat(p.Speedup, 'f', 3, 64)})
+	}
+	writeCSV("figure11", recs)
+	fmt.Fprintln(w, "batch\ttree\tsequence\tspeedup")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%d\t%.1f\t%.1f\t%.2fx\n", p.BatchSize, p.TreeMS, p.SequenceMS, p.Speedup)
+	}
+}

@@ -1,0 +1,134 @@
+// Command specinfer serves a synthetic request trace end-to-end with any
+// of the three serving strategies (incremental decoding, sequence-based
+// speculation, tree-based speculation), prints the generations as
+// pseudo-text, and reports per-request speculation statistics plus the
+// simulated per-token latency on the paper's A10 deployment.
+//
+// Usage examples:
+//
+//	specinfer                          # tree speculation, Alpaca, 4 requests
+//	specinfer -mode incremental
+//	specinfer -mode tree -width 5 -stochastic -batch 8 -requests 16
+//	specinfer -dataset WebQA -ssms 3   # merge-based speculation, 3 SSMs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specinfer/internal/bench"
+	"specinfer/internal/cluster"
+	"specinfer/internal/core"
+	"specinfer/internal/gpu"
+	"specinfer/internal/model"
+	"specinfer/internal/sampling"
+	"specinfer/internal/speculator"
+	"specinfer/internal/tokenizer"
+	"specinfer/internal/tree"
+	"specinfer/internal/workload"
+)
+
+func main() {
+	var (
+		dataset    = flag.String("dataset", "Alpaca", "prompt dataset: Alpaca|CP|WebQA|CIP|PIQA")
+		mode       = flag.String("mode", "tree", "serving mode: incremental|sequence|tree")
+		width      = flag.Int("width", 3, "token tree width (tree mode)")
+		depth      = flag.Int("depth", 8, "speculation depth")
+		requests   = flag.Int("requests", 4, "number of requests")
+		batch      = flag.Int("batch", 4, "continuous batching slots")
+		gen        = flag.Int("gen", 64, "tokens to generate per request")
+		stochastic = flag.Bool("stochastic", false, "stochastic decoding (default greedy)")
+		temp       = flag.Float64("temperature", 1, "sampling temperature (stochastic)")
+		topK       = flag.Int("topk", 0, "top-k sampling filter, 0 disables")
+		topP       = flag.Float64("topp", 0, "nucleus sampling mass, 0 disables")
+		adaptive   = flag.Bool("adaptive", false, "dynamic best-first tree expansion")
+		ssms       = flag.Int("ssms", 1, "SSM pool size (merge-based speculation if >1)")
+		seed       = flag.Uint64("seed", 1, "engine seed")
+		showText   = flag.Bool("text", true, "print generations as pseudo-text")
+	)
+	flag.Parse()
+
+	ds := workload.DatasetByName(*dataset)
+	pair := bench.Models(ds)
+	tok := tokenizer.New(ds.Vocab, ds.Seed)
+
+	cfg := core.Config{
+		LLM:      pair.LLM,
+		SeqDepth: *depth,
+		MaxBatch: *batch,
+		Seed:     *seed,
+	}
+	if *stochastic {
+		cfg.Sample = sampling.Config{
+			Mode:        sampling.Stochastic,
+			Temperature: *temp,
+			TopK:        *topK,
+			TopP:        *topP,
+		}
+	} else {
+		cfg.Sample = sampling.GreedyConfig()
+	}
+	if *adaptive {
+		cfg.Adaptive = &speculator.AdaptiveConfig{MaxNodes: *width * 3, MaxDepth: *depth}
+	}
+	switch *mode {
+	case "incremental":
+		cfg.Mode = core.Incremental
+	case "sequence":
+		cfg.Mode = core.SequenceSpec
+		cfg.SSMs = []model.Model{pair.SSM}
+	case "tree":
+		cfg.Mode = core.TreeSpec
+		exp := make(tree.ExpansionConfig, *depth)
+		for i := range exp {
+			exp[i] = 1
+		}
+		exp[0] = *width
+		cfg.Expansion = exp
+		cfg.SSMs = []model.Model{pair.SSM}
+		for _, extra := range pair.ExtraSSMs(*ssms - 1) {
+			cfg.SSMs = append(cfg.SSMs, extra)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	trace := pair.Trace(*requests, *gen)
+	results, iters := eng.Run(trace)
+
+	fmt.Printf("SpecInfer-Go — %s on %s, %d requests, batch %d, %s decoding\n",
+		cfg.Mode, ds.Name, *requests, *batch, cfg.Sample.Mode)
+	fmt.Printf("LLM: %s   SSM pool: %d\n\n", pair.LLM.Name(), len(cfg.SSMs))
+
+	var totalSteps, totalTokens int
+	for i, r := range results {
+		totalSteps += r.Steps
+		totalTokens += len(r.Output)
+		fmt.Printf("request %d: %d tokens in %d LLM steps (%.2f tokens/step)\n",
+			r.ID, len(r.Output), r.Steps, r.AvgCommitted())
+		if *showText {
+			fmt.Printf("  prompt: %s\n", tok.Decode(trace[i].Prompt))
+			out := r.Output
+			if len(out) > 24 {
+				out = out[:24]
+			}
+			fmt.Printf("  output: %s ...\n", tok.Decode(out))
+		}
+	}
+	fmt.Printf("\ntotal: %d tokens in %d steps (%.2f tokens/step)\n",
+		totalTokens, totalSteps, float64(totalTokens)/float64(totalSteps))
+
+	// Price the run on the paper's LLaMA-7B single-A10 deployment.
+	rep := cluster.Simulate(cluster.Deployment{
+		LLM: model.LLaMA7B, SSM: model.LLaMA68M, Plan: gpu.SingleGPU(),
+	}, iters)
+	fmt.Printf("simulated on LLaMA-7B / 1xA10: %.1f ms per token, %.2f J per token (%s)\n",
+		rep.PerTokenLatency*1e3, rep.EnergyPerToken, rep)
+}

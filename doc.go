@@ -1,0 +1,10 @@
+// Package specinfer is a from-scratch Go reproduction of SpecInfer
+// (Miao et al., ASPLOS 2024): accelerating large language model serving
+// with tree-based speculative inference and verification.
+//
+// The implementation lives under internal/ (one package per subsystem;
+// see DESIGN.md for the inventory), runnable programs under cmd/ and
+// examples/, and the benchmark harness that regenerates every table and
+// figure of the paper's evaluation in bench_test.go (driven by
+// internal/bench).
+package specinfer

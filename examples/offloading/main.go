@@ -1,0 +1,72 @@
+// Offloading: serving an LLM that does not fit on the GPU by streaming
+// weights from CPU DRAM over PCIe each step (the FlexGen deployment of
+// the paper's §6.3), and how tree speculation compresses the number of
+// streaming steps.
+//
+// It plans memory for OPT-13B and OPT-30B on a 24GB A10, shows the
+// resident/streamed split, then serves the same trace with FlexGen-style
+// incremental decoding and with SpecInfer's tree speculation.
+//
+// Run with: go run ./examples/offloading
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"specinfer/internal/bench"
+	"specinfer/internal/cluster"
+	"specinfer/internal/core"
+	"specinfer/internal/model"
+	"specinfer/internal/offload"
+	"specinfer/internal/sampling"
+	"specinfer/internal/workload"
+)
+
+func main() {
+	pair := bench.Models(workload.DatasetByName("Alpaca"))
+	trace := pair.Trace(4, 64)
+
+	for _, spec := range []model.Spec{model.OPT13B, model.OPT30B} {
+		exec, err := offload.NewExecutor(offload.Config{LLM: spec})
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan := exec.Plan()
+		fmt.Printf("%s on a 24GB A10:\n", spec)
+		fmt.Printf("  weights: %.1f GB total, %.1f GB resident in HBM (%.0f%%), %.1f GB streamed per step\n",
+			gb(spec.ParamBytes()), gb(plan.ResidentBytes),
+			plan.ResidentFraction*100, gb(plan.StreamedBytes))
+
+		dep := cluster.Deployment{LLM: spec, SSM: model.OPT125M, Offload: true, Pricer: exec}
+		var flexgen float64
+		for _, mode := range []core.Mode{core.Incremental, core.TreeSpec} {
+			eng, err := core.NewEngine(core.Config{
+				Mode:     mode,
+				LLM:      pair.LLM,
+				SSMs:     []model.Model{pair.SSM},
+				Sample:   sampling.StochasticConfig(),
+				MaxBatch: 4,
+				Seed:     3,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			_, iters := eng.Run(trace)
+			rep := cluster.Simulate(dep, iters)
+			name := "SpecInfer (tree speculation)"
+			if mode == core.Incremental {
+				name = "FlexGen (incremental)"
+				flexgen = rep.PerTokenLatency
+			}
+			fmt.Printf("  %-30s %.2f s/token", name, rep.PerTokenLatency)
+			if mode == core.TreeSpec {
+				fmt.Printf("   (%.2fx faster)", flexgen/rep.PerTokenLatency)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}
+
+func gb(b int64) float64 { return float64(b) / (1 << 30) }

@@ -1,0 +1,3 @@
+module specinfer
+
+go 1.22

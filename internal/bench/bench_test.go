@@ -1,0 +1,348 @@
+package bench
+
+import (
+	"testing"
+
+	"specinfer/internal/model"
+	"specinfer/internal/sampling"
+	"specinfer/internal/tensor"
+)
+
+// The tests in this file assert the paper-shape properties of every
+// experiment driver on reduced workload sizes: who wins, in roughly what
+// band, and where trends point. cmd/benchtables regenerates the full-size
+// numbers recorded in EXPERIMENTS.md.
+
+func TestTable1Bands(t *testing.T) {
+	rows := Table1(Table1Config{Prompts: 16, Steps: 48})
+	if len(rows) != 10 {
+		t.Fatalf("want 10 rows (2 modes x 5 datasets), got %d", len(rows))
+	}
+	for _, r := range rows {
+		// Monotone in k.
+		for k := 1; k < 5; k++ {
+			if r.Rate[k] < r.Rate[k-1] {
+				t.Fatalf("%v %s: success rate not monotone in k: %v", r.Mode, r.Dataset, r.Rate)
+			}
+		}
+		switch r.Mode {
+		case sampling.Greedy:
+			// Paper: top-1 62-70%. Allow a generous band on small samples.
+			if r.Rate[0] < 0.50 || r.Rate[0] > 0.85 {
+				t.Errorf("greedy %s top-1 %.2f outside band", r.Dataset, r.Rate[0])
+			}
+		case sampling.Stochastic:
+			// Paper: top-1 52-57%, top-5 96-97%.
+			if r.Rate[0] < 0.38 || r.Rate[0] > 0.70 {
+				t.Errorf("stochastic %s top-1 %.2f outside band", r.Dataset, r.Rate[0])
+			}
+			if r.Rate[4] < 0.85 {
+				t.Errorf("stochastic %s top-5 %.2f too low", r.Dataset, r.Rate[4])
+			}
+		}
+	}
+	// The paper's headline Table 1 claim: top-5 stochastic coverage far
+	// exceeds top-1 (57% -> 97% in the paper).
+	for _, r := range rows {
+		if r.Mode == sampling.Stochastic && r.Rate[4]-r.Rate[0] < 0.25 {
+			t.Errorf("stochastic %s: top-5 gain over top-1 too small: %v", r.Dataset, r.Rate)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows := Table2(Table2Config{Requests: 6, GenLen: 80})
+	if len(rows) != 10 {
+		t.Fatalf("want 10 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		// Every width verifies more than one token per step on average
+		// (speculation is productive), and stays under the ceiling
+		// (speculation depth 8 + bonus).
+		for k := 0; k < 5; k++ {
+			if r.Avg[k] <= 1.3 {
+				t.Errorf("%v %s width %d: avg %.2f too low", r.Mode, r.Dataset, k+1, r.Avg[k])
+			}
+			if r.Avg[k] > 9 {
+				t.Errorf("%v %s width %d: avg %.2f exceeds ceiling", r.Mode, r.Dataset, k+1, r.Avg[k])
+			}
+		}
+		// Width must help overall: width-5 at least as good as width-1
+		// within noise.
+		if r.Avg[4] < r.Avg[0]*0.92 {
+			t.Errorf("%v %s: width 5 (%.2f) clearly worse than width 1 (%.2f)",
+				r.Mode, r.Dataset, r.Avg[4], r.Avg[0])
+		}
+	}
+}
+
+func TestTable3MSSBeatsNaive(t *testing.T) {
+	rows := Table3(Table2Config{Requests: 6, GenLen: 80})
+	if len(rows) != 5 {
+		t.Fatalf("want 5 rows, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Improvement <= 1.0 {
+			t.Errorf("%s: MSS improvement %.2f must exceed 1 (Theorem 4.3)", r.Dataset, r.Improvement)
+		}
+		if r.Improvement > 2.5 {
+			t.Errorf("%s: MSS improvement %.2f implausibly high", r.Dataset, r.Improvement)
+		}
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	series := Figure9(Figure9Config{Requests: 10, GenLen: 80})
+	if len(series) != 10 {
+		t.Fatalf("want 10 series, got %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.CDF) == 0 {
+			t.Fatalf("series width %d has empty CDF", s.Width)
+		}
+		last := s.CDF[len(s.CDF)-1]
+		if last.P != 1 {
+			t.Fatalf("CDF must end at 1, got %v", last.P)
+		}
+		if s.Mean <= 1 {
+			t.Fatalf("mean verified per step %.2f must exceed 1", s.Mean)
+		}
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	pts := Figure7(LatencyConfig{GenLen: 48})
+	// Index per deployment/batch: system -> latency.
+	type key struct {
+		dep string
+		bs  int
+	}
+	byCfg := map[key]map[string]float64{}
+	for _, p := range pts {
+		k := key{p.Deployment, p.BatchSize}
+		if byCfg[k] == nil {
+			byCfg[k] = map[string]float64{}
+		}
+		byCfg[k][p.System] = p.PerTokenMS
+	}
+	for k, sys := range byCfg {
+		tree := sys[sysSpecTree]
+		inc := sys[sysSpecIncr]
+		if tree <= 0 || inc <= 0 {
+			t.Fatalf("%v: missing systems %v", k, sys)
+		}
+		// SpecInfer tree mode beats incremental decoding everywhere.
+		if tree >= inc {
+			t.Errorf("%v: tree %.1fms !< incremental %.1fms", k, tree, inc)
+		}
+		// Baselines are on par with SpecInfer incremental (within 15%).
+		for _, b := range []string{"vLLM", "HuggingFace TGI", "FasterTransformer"} {
+			r := sys[b] / inc
+			if r < 0.85 || r > 1.20 {
+				t.Errorf("%v: %s/incremental ratio %.2f outside on-par band", k, b, r)
+			}
+		}
+		if k.bs == 1 {
+			// Paper band: 1.5-2.8x over the best baseline at low batch
+			// (we allow up to 4x: the simulated SSM is cheaper than real).
+			speedup := inc / tree
+			if speedup < 1.5 || speedup > 4.5 {
+				t.Errorf("%v: BS=1 speedup %.2f outside band", k, speedup)
+			}
+			// Tree beats sequence-based speculation at low batch.
+			if seq := sys[sysSpecSeq]; tree >= seq {
+				t.Errorf("%v: tree %.1f !< sequence %.1f at BS=1", k, tree, seq)
+			}
+		}
+	}
+	// Speedup shrinks with batch size per deployment.
+	for _, dep := range Figure7Deployments() {
+		s1 := byCfg[key{dep.Label, 1}][sysSpecIncr] / byCfg[key{dep.Label, 1}][sysSpecTree]
+		s16 := byCfg[key{dep.Label, 16}][sysSpecIncr] / byCfg[key{dep.Label, 16}][sysSpecTree]
+		if s16 >= s1 {
+			t.Errorf("%s: speedup must shrink with batch (%.2f -> %.2f)", dep.Label, s1, s16)
+		}
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	pts := Figure8(LatencyConfig{GenLen: 48})
+	for _, p := range pts {
+		if p.System != sysSpecTree {
+			continue
+		}
+		// Paper band: 2.6-3.5x over FlexGen.
+		if p.SpeedupVsF < 2.0 || p.SpeedupVsF > 4.2 {
+			t.Errorf("%s BS=%d: offload speedup %.2f outside band", p.Model, p.BatchSize, p.SpeedupVsF)
+		}
+	}
+	// OPT-30B must be slower than OPT-13B under offloading.
+	var f13, f30 float64
+	for _, p := range pts {
+		if p.System == sysFlexGen && p.BatchSize == 1 {
+			if p.Model == "OPT-13B" {
+				f13 = p.PerTokenS
+			} else {
+				f30 = p.PerTokenS
+			}
+		}
+	}
+	if f30 <= f13 {
+		t.Errorf("OPT-30B offload %.2fs must exceed OPT-13B %.2fs", f30, f13)
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	pts := Figure10(LatencyConfig{GenLen: 48})
+	lat := map[[2]int]float64{}
+	for _, p := range pts {
+		lat[[2]int{p.Width, p.BatchSize}] = p.PerTokenMS
+	}
+	// At large batch, very wide trees must not be the best choice: the
+	// paper finds width 2-3 optimal for BS >= 4.
+	best := 1
+	for w := 2; w <= 5; w++ {
+		if lat[[2]int{w, 16}] < lat[[2]int{best, 16}] {
+			best = w
+		}
+	}
+	if best > 3 {
+		t.Errorf("BS=16 optimal width %d; paper finds 1-3 (less spare compute)", best)
+	}
+	// Latency grows with batch size for every width.
+	for w := 1; w <= 5; w++ {
+		if lat[[2]int{w, 16}] <= lat[[2]int{w, 1}] {
+			t.Errorf("width %d: latency must grow with batch", w)
+		}
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	pts := Figure11(LatencyConfig{GenLen: 48})
+	if len(pts) != len(BatchSizes) {
+		t.Fatalf("want %d points", len(BatchSizes))
+	}
+	for i, p := range pts {
+		if p.Speedup < 0.99 {
+			t.Errorf("BS=%d: tree decoding slower than sequence decoding (%.2f)", p.BatchSize, p.Speedup)
+		}
+		if i > 0 && p.Speedup < pts[i-1].Speedup*0.98 {
+			t.Errorf("speedup should not shrink with batch: %v", pts)
+		}
+	}
+	// Paper: up to 1.8x at large batch; ours is model-driven, assert the
+	// gap opens materially by BS=16.
+	last := pts[len(pts)-1]
+	if last.Speedup < 1.05 {
+		t.Errorf("BS=16 tree-vs-sequence speedup %.2f too small", last.Speedup)
+	}
+}
+
+func TestModelsDeterministicAndCached(t *testing.T) {
+	a := Models(Datasets()[0])
+	b := Models(Datasets()[0])
+	if a.LLM != b.LLM || a.SSM != b.SSM {
+		t.Fatal("Models must be cached")
+	}
+	if a.LLM.VocabSize() != a.Dataset.Vocab {
+		t.Fatal("vocab mismatch")
+	}
+}
+
+func TestExtraSSMsDiverse(t *testing.T) {
+	p := Models(Datasets()[0])
+	extras := p.ExtraSSMs(2)
+	if len(extras) != 2 {
+		t.Fatal("wrong count")
+	}
+	// Different data subsets: distributions must differ somewhere.
+	h := p.Markov.Generate(tensor.NewRNG(7), 8)
+	d0 := extras[0].Dist(h)
+	d1 := extras[1].Dist(h)
+	same := true
+	for i := range d0 {
+		if d0[i] != d1[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("extra SSMs identical — no diversity for merge experiments")
+	}
+}
+
+func TestAblation(t *testing.T) {
+	rows := Ablation(Table2Config{Requests: 5, GenLen: 64})
+	if len(rows) != 14 {
+		t.Fatalf("want 14 ablation rows, got %d", len(rows))
+	}
+	byName := map[string]map[sampling.Mode]float64{}
+	for _, r := range rows {
+		if r.AvgTok <= 1 {
+			t.Errorf("%s (%v): avg %.2f must exceed 1", r.Name, r.Mode, r.AvgTok)
+		}
+		if byName[r.Name] == nil {
+			byName[r.Name] = map[sampling.Mode]float64{}
+		}
+		byName[r.Name][r.Mode] = r.AvgTok
+	}
+	// First-token expansion must beat third-token expansion (the reason
+	// WidthConfig deviates from the paper's text; see EXPERIMENTS.md).
+	for _, mode := range []sampling.Mode{sampling.Greedy, sampling.Stochastic} {
+		first := byName["width-3 at first token"][mode]
+		third := byName["width-3 at third token (paper cfg)"][mode]
+		if first < third*0.95 {
+			t.Errorf("%v: first-token expansion %.2f clearly below third-token %.2f", mode, first, third)
+		}
+	}
+	// Merging more SSMs must not hurt.
+	if byName["merge: 3 SSM sequences"][sampling.Greedy] <
+		byName["merge: 1 SSM sequences"][sampling.Greedy]*0.95 {
+		t.Error("3-SSM merge clearly worse than single SSM")
+	}
+}
+
+func TestBoostAblation(t *testing.T) {
+	row := BoostAblation(80)
+	if len(row.Covered) != row.PoolSize {
+		t.Fatal("coverage length mismatch")
+	}
+	for i := 1; i < len(row.Covered); i++ {
+		if row.Covered[i] < row.Covered[i-1] {
+			t.Fatalf("coverage must be monotone: %v", row.Covered)
+		}
+	}
+	if row.Covered[0] == 0 || row.Covered[len(row.Covered)-1] > row.Total {
+		t.Fatalf("implausible coverage %v of %d", row.Covered, row.Total)
+	}
+}
+
+// TestOverheadAnalysis checks §5.3's claims quantitatively: hosting an SSM
+// adds <1% memory; a token tree's KV rows are negligible next to a
+// long-context cache; speculation costs a small fraction of verification;
+// verifying a 20-node tree costs within ~30% of decoding one token.
+func TestOverheadAnalysis(t *testing.T) {
+	for _, c := range []struct {
+		llm, ssm model.Spec
+	}{
+		{model.LLaMA7B, model.LLaMA68M},
+		{model.LLaMA65B, model.LLaMA68M},
+		{model.OPT30B, model.OPT125M},
+	} {
+		rep := Overhead(c.llm, c.ssm, 256)
+		if rep.SSMMemFraction >= 0.02 {
+			t.Errorf("%s/%s: SSM memory fraction %.3f not <2%%",
+				c.llm.Name, c.ssm.Name, rep.SSMMemFraction)
+		}
+		if rep.TreeKVFraction >= 0.01 {
+			t.Errorf("%s: tree KV fraction %.4f not negligible", c.llm.Name, rep.TreeKVFraction)
+		}
+		if rep.SSMTimeFraction >= 0.5 {
+			t.Errorf("%s: speculation/verification time %.2f too large", c.llm.Name, rep.SSMTimeFraction)
+		}
+		if rep.VerifyExtraTime > 1.4 {
+			t.Errorf("%s: tree verification %.2fx an incremental step — not memory-bound",
+				c.llm.Name, rep.VerifyExtraTime)
+		}
+	}
+}

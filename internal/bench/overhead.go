@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"specinfer/internal/gpu"
+	"specinfer/internal/model"
+	"specinfer/internal/tree"
+)
+
+// OverheadReport quantifies §5.3's analysis: the memory and computation
+// overheads of speculation and verification, which the paper argues are
+// one to two orders of magnitude smaller than LLM inference itself.
+type OverheadReport struct {
+	LLM model.Spec
+	SSM model.Spec
+
+	// Memory overheads.
+	SSMMemFraction float64 // SSM weights / LLM weights
+	// TreeKVFraction is the extra KV-cache memory for holding one
+	// speculated token tree per request relative to the KV cache of a
+	// long-context request (the paper's comparison point).
+	TreeKVFraction float64
+
+	// Computation overheads (per decoding iteration, batch 1).
+	SSMTimeFraction    float64 // SSM speculation time / LLM verify time
+	VerifyExtraTime    float64 // tree verify time / incremental step time
+	SpeculationSeconds float64
+	VerifySeconds      float64
+	IncrementalSeconds float64
+}
+
+// Overhead computes the report for a deployment pair using the paper's
+// default tree (⟨1,1,3,1,1,1,1,1⟩, 20 speculated nodes) at the given
+// context length.
+func Overhead(llm, ssm model.Spec, ctxLen int) OverheadReport {
+	dev := gpu.A10()
+	plan := gpu.SingleGPU()
+	cfg := tree.PaperDefault()
+	nodes := cfg.MaxNodes()
+
+	rep := OverheadReport{LLM: llm, SSM: ssm}
+	rep.SSMMemFraction = float64(ssm.ParamBytes()) / float64(llm.ParamBytes())
+	// One tree's worth of extra KV rows vs a long-context request (the
+	// paper's §5.3 point: 32K-token serving dwarfs a 20-node tree).
+	longCtx := 32768
+	rep.TreeKVFraction = float64(nodes) / float64(longCtx)
+
+	rep.IncrementalSeconds = gpu.LLMStep(llm, plan, dev, gpu.StepParams{
+		Batch: 1, Positions: 1, AttnKernels: 1, CtxLen: ctxLen,
+	})
+	rep.VerifySeconds = gpu.LLMStep(llm, plan, dev, gpu.StepParams{
+		Batch: 1, Positions: nodes, AttnKernels: 1, CtxLen: ctxLen,
+	})
+	perLevel := (nodes + len(cfg) - 1) / len(cfg)
+	rep.SpeculationSeconds = float64(len(cfg)) * gpu.SSMStep(ssm, dev, perLevel, ctxLen)
+
+	rep.SSMTimeFraction = rep.SpeculationSeconds / rep.VerifySeconds
+	rep.VerifyExtraTime = rep.VerifySeconds / rep.IncrementalSeconds
+	return rep
+}

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"specinfer/internal/sampling"
+	"specinfer/internal/tensor"
+)
+
+// Table1Row is one row of Table 1: the success rate of verifying a token
+// using the SSM's top-k tokens, per dataset and decode mode.
+type Table1Row struct {
+	Mode    sampling.Mode
+	Dataset string
+	// Rate[k-1] is the success rate using the top-k SSM tokens, k=1..5.
+	Rate [5]float64
+}
+
+// Table1Config tunes the measurement size.
+type Table1Config struct {
+	Prompts int // prompts per dataset
+	Steps   int // decoding steps measured per prompt
+	Seed    uint64
+}
+
+func (c Table1Config) withDefaults() Table1Config {
+	if c.Prompts == 0 {
+		c.Prompts = 30
+	}
+	if c.Steps == 0 {
+		c.Steps = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = calib.Seed
+	}
+	return c
+}
+
+// Table1 reproduces Table 1: over typical dataset text (ground-truth
+// walks, so the measured contexts are diverse rather than whatever a
+// short-cycle greedy chain revisits), the verification of a token
+// "succeeds" if the token the LLM selects at that context (argmax for
+// greedy decoding, a sample for stochastic) is among the SSM's top-k
+// tokens at the same context.
+func Table1(cfg Table1Config) []Table1Row {
+	cfg = cfg.withDefaults()
+	var rows []Table1Row
+	for _, mode := range []sampling.Mode{sampling.Greedy, sampling.Stochastic} {
+		for _, ds := range Datasets() {
+			p := Models(ds)
+			rng := tensor.NewRNG(cfg.Seed ^ ds.Seed ^ uint64(mode))
+			row := Table1Row{Mode: mode, Dataset: ds.Name}
+			var hits [5]int
+			total := 0
+			for pi := 0; pi < cfg.Prompts; pi++ {
+				text := p.Markov.Generate(rng, calib.PromptLen+cfg.Steps)
+				llmSess := p.LLM.NewSession()
+				ssmSess := p.SSM.NewSession()
+				llmDist := llmSess.Prefill(text[:calib.PromptLen])
+				ssmDist := ssmSess.Prefill(text[:calib.PromptLen])
+				for s := calib.PromptLen; s < len(text); s++ {
+					var chosen int
+					if mode == sampling.Greedy {
+						chosen, _ = tensor.ArgMax(llmDist)
+					} else {
+						chosen = rng.SampleCategorical(llmDist)
+					}
+					topk := tensor.TopK(ssmDist, 5)
+					for k, idx := range topk {
+						if idx == chosen {
+							for j := k; j < 5; j++ {
+								hits[j]++
+							}
+							break
+						}
+					}
+					total++
+					llmDist = llmSess.Decode(text[s])
+					ssmDist = ssmSess.Decode(text[s])
+				}
+			}
+			for k := 0; k < 5; k++ {
+				row.Rate[k] = float64(hits[k]) / float64(total)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}

@@ -1,0 +1,162 @@
+package core
+
+// Failure injection: speculation quality must never affect correctness —
+// a hostile or broken SSM can only slow serving down, never change the
+// output (greedy) or its distribution (stochastic). These tests plug
+// pathological SSMs into the engine and assert the invariants hold.
+
+import (
+	"testing"
+
+	"specinfer/internal/model"
+	"specinfer/internal/sampling"
+	"specinfer/internal/tree"
+)
+
+// fixedSSM is a model whose next-token distribution is constant: a
+// worst-case speculator (confidently wrong everywhere when the mass sits
+// on a token the LLM never picks).
+type fixedSSM struct {
+	vocab int
+	dist  []float32
+}
+
+func (f *fixedSSM) Name() string   { return "fixed-ssm" }
+func (f *fixedSSM) VocabSize() int { return f.vocab }
+func (f *fixedSSM) NewSession() model.Session {
+	return &fixedSession{f: f}
+}
+
+type fixedSession struct {
+	f *fixedSSM
+	n int
+}
+
+func (s *fixedSession) Len() int { return s.n }
+func (s *fixedSession) Prefill(p []model.Token) []float32 {
+	s.n = len(p)
+	return append([]float32(nil), s.f.dist...)
+}
+func (s *fixedSession) Decode(model.Token) []float32 {
+	s.n++
+	return append([]float32(nil), s.f.dist...)
+}
+func (s *fixedSession) DecodeTree(t *tree.Tree) [][]float32 {
+	out := make([][]float32, t.Len())
+	for i := range out {
+		out[i] = append([]float32(nil), s.f.dist...)
+	}
+	return out
+}
+func (s *fixedSession) Accept(toks []model.Token) []float32 {
+	s.n += len(toks)
+	return append([]float32(nil), s.f.dist...)
+}
+
+func oneHot(vocab, idx int) []float32 {
+	d := make([]float32, vocab)
+	d[idx] = 1
+	return d
+}
+
+func uniform(vocab int) []float32 {
+	d := make([]float32, vocab)
+	for i := range d {
+		d[i] = 1 / float32(vocab)
+	}
+	return d
+}
+
+func TestAdversarialSSMStillLossless(t *testing.T) {
+	llm, _, reqs := testModels(t, 3, 24)
+	for name, dist := range map[string][]float32{
+		"confidently-wrong": oneHot(192, 191),
+		"uniform":           uniform(192),
+	} {
+		bad := &fixedSSM{vocab: 192, dist: dist}
+		inc, _ := run(t, Config{Mode: Incremental, LLM: llm, Sample: sampling.GreedyConfig(), Seed: 7}, reqs)
+		spec, _ := run(t, Config{
+			Mode: TreeSpec, LLM: llm, SSMs: []model.Model{bad},
+			Sample: sampling.GreedyConfig(), Seed: 7,
+		}, reqs)
+		for i := range reqs {
+			if len(spec[i].Output) != len(inc[i].Output) {
+				t.Fatalf("%s: req %d length diverged", name, i)
+			}
+			for j := range inc[i].Output {
+				if inc[i].Output[j] != spec[i].Output[j] {
+					t.Fatalf("%s: req %d token %d diverged", name, i, j)
+				}
+			}
+			// A useless speculator costs steps, but never more than one
+			// step per token.
+			if spec[i].Steps > len(spec[i].Output) {
+				t.Fatalf("%s: more steps than tokens", name)
+			}
+		}
+	}
+}
+
+func TestAdversarialSSMStochasticCompletes(t *testing.T) {
+	llm, _, reqs := testModels(t, 2, 20)
+	bad := &fixedSSM{vocab: 192, dist: oneHot(192, 190)}
+	res, _ := run(t, Config{
+		Mode: TreeSpec, LLM: llm, SSMs: []model.Model{bad},
+		Sample: sampling.StochasticConfig(), Seed: 9,
+	}, reqs)
+	for i, r := range res {
+		if len(r.Output) != 20 {
+			t.Fatalf("req %d incomplete under hostile SSM: %d tokens", i, len(r.Output))
+		}
+		// MSS must reject essentially everything the hostile SSM offers,
+		// committing ~1 token per step (the residual sample).
+		if r.AvgCommitted() > 1.6 {
+			t.Fatalf("req %d accepted too much from a wrong SSM: %.2f", i, r.AvgCommitted())
+		}
+	}
+}
+
+// TestAdversarialStochasticDistributionPreserved: even with a hostile SSM,
+// MSS's first emitted token must follow the LLM's own distribution
+// (Theorem 4.2 under adversarial proposals, end-to-end through the
+// engine). We check the empirical first-token distribution against
+// incremental decoding over many seeds.
+func TestAdversarialStochasticDistributionPreserved(t *testing.T) {
+	llm, _, reqs := testModels(t, 1, 1)
+	bad := &fixedSSM{vocab: 192, dist: oneHot(192, 189)}
+	counts := map[int]int{}
+	countsInc := map[int]int{}
+	n := 3000
+	for seed := 0; seed < n; seed++ {
+		spec, _ := run(t, Config{
+			Mode: TreeSpec, LLM: llm, SSMs: []model.Model{bad},
+			Sample: sampling.StochasticConfig(), Seed: uint64(seed) + 1,
+		}, reqs)
+		counts[spec[0].Output[0]]++
+		inc, _ := run(t, Config{
+			Mode: Incremental, LLM: llm,
+			Sample: sampling.StochasticConfig(), Seed: uint64(seed) + 1,
+		}, reqs)
+		countsInc[inc[0].Output[0]]++
+	}
+	// Total variation distance between the two empirical first-token
+	// distributions must be small (both are n samples of the same law).
+	seen := map[int]bool{}
+	for k := range counts {
+		seen[k] = true
+	}
+	for k := range countsInc {
+		seen[k] = true
+	}
+	var tv float64
+	for k := range seen {
+		d := float64(counts[k]-countsInc[k]) / float64(n)
+		if d < 0 {
+			d = -d
+		}
+		tv += d / 2
+	}
+	if tv > 0.06 {
+		t.Fatalf("first-token TV distance %.3f too large — distribution not preserved", tv)
+	}
+}

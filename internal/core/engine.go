@@ -1,0 +1,397 @@
+// Package core assembles SpecInfer's serving engine (§2, §5): a request
+// manager with Orca-style continuous batching that, each iteration, runs
+// the learning-based speculator to produce a token tree per request,
+// scores the tree with one tree-based parallel decoding pass of the LLM,
+// and verifies it with greedy or multi-step speculative sampling — plus
+// the two baselines the paper evaluates against: plain incremental
+// decoding and sequence-based speculative inference.
+package core
+
+import (
+	"fmt"
+
+	"specinfer/internal/model"
+	"specinfer/internal/sampling"
+	"specinfer/internal/speculator"
+	"specinfer/internal/tensor"
+	"specinfer/internal/tree"
+	"specinfer/internal/verifier"
+	"specinfer/internal/workload"
+)
+
+// Mode selects the serving strategy.
+type Mode int
+
+const (
+	// Incremental is the baseline of existing systems: one token per LLM
+	// step (Algorithm 1).
+	Incremental Mode = iota
+	// SequenceSpec is sequence-based speculative inference: a single SSM
+	// proposes a width-1 token sequence.
+	SequenceSpec
+	// TreeSpec is SpecInfer: tree-based speculative inference and
+	// verification.
+	TreeSpec
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Incremental:
+		return "incremental"
+	case SequenceSpec:
+		return "sequence-spec"
+	default:
+		return "tree-spec"
+	}
+}
+
+// Config configures an Engine.
+type Config struct {
+	Mode Mode
+	// LLM is the large language model (the verifier).
+	LLM model.Model
+	// SSMs is the speculative model pool (ignored for Incremental).
+	SSMs []model.Model
+	// Expansion is the token tree expansion configuration for TreeSpec;
+	// defaults to the paper's ⟨1,1,3,1,1,1,1,1⟩.
+	Expansion tree.ExpansionConfig
+	// SeqDepth is the speculation depth for SequenceSpec; defaults to 8.
+	SeqDepth int
+	// Sample is the decode policy applied to every request.
+	Sample sampling.Config
+	// MaxBatch bounds the number of concurrently served requests
+	// (continuous batching slots); defaults to 8.
+	MaxBatch int
+	// EOS terminates generation when sampled. Zero or negative disables
+	// (token id 0 therefore cannot serve as EOS; the synthetic workloads
+	// have no natural EOS and the benchmarks run with it disabled, like
+	// the paper's fixed 128-token generations).
+	EOS model.Token
+	// Seed drives all engine randomness (per-request streams are split
+	// from it, so results are independent of batch interleaving).
+	Seed uint64
+	// ForceTopK forces top-k expansion even under stochastic decoding
+	// (see speculator.Config).
+	ForceTopK bool
+	// NaiveSampling replaces multi-step speculative sampling with the
+	// naive-sampling baseline during stochastic verification (the ablation
+	// of Table 3). Ignored under greedy decoding.
+	NaiveSampling bool
+	// Adaptive, when non-nil, replaces the static expansion configuration
+	// with dynamic best-first tree growth (the paper's stated future
+	// work; see speculator.AdaptiveConfig). TreeSpec mode only; uses the
+	// first SSM of the pool.
+	Adaptive *speculator.AdaptiveConfig
+}
+
+// treeSpeculator is the lifecycle both the static and the adaptive
+// speculators implement.
+type treeSpeculator interface {
+	Prefill(prompt []model.Token)
+	Accept(tokens []model.Token)
+	Speculate(rootTok model.Token) *tree.Tree
+}
+
+func (c Config) withDefaults() Config {
+	if c.Expansion == nil {
+		c.Expansion = tree.PaperDefault()
+	}
+	if c.SeqDepth == 0 {
+		c.SeqDepth = 8
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 8
+	}
+	if c.EOS == 0 {
+		c.EOS = -1
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.LLM == nil {
+		return fmt.Errorf("core: config requires an LLM")
+	}
+	if c.Mode != Incremental && len(c.SSMs) == 0 {
+		return fmt.Errorf("core: %v mode requires at least one SSM", c.Mode)
+	}
+	if msg := c.Expansion.Validate(); msg != "" {
+		return fmt.Errorf("core: %s", msg)
+	}
+	if err := c.Sample.Validate(); err != nil {
+		return err
+	}
+	for _, s := range c.SSMs {
+		if s.VocabSize() != c.LLM.VocabSize() {
+			return fmt.Errorf("core: SSM %s vocab %d != LLM vocab %d",
+				s.Name(), s.VocabSize(), c.LLM.VocabSize())
+		}
+	}
+	return nil
+}
+
+// RequestResult is the outcome and the per-request statistics every
+// experiment consumes.
+type RequestResult struct {
+	ID     int
+	Output []model.Token
+	// Steps is the number of LLM decoding steps (verification passes for
+	// speculative modes) the request needed.
+	Steps int
+	// CommittedPerStep[i] is how many tokens step i committed (including
+	// the bonus token). For incremental decoding every entry is 1.
+	CommittedPerStep []int
+	// TreeNodesPerStep[i] is the number of speculated nodes verified at
+	// step i (0 for incremental decoding) — the verification workload the
+	// cost model prices.
+	TreeNodesPerStep []int
+	// PromptLen is the request's prompt length.
+	PromptLen int
+}
+
+// AvgCommitted returns the request's average tokens per decoding step —
+// the quantity Figures 9-10 and Tables 2-3 report.
+func (r RequestResult) AvgCommitted() float64 {
+	if r.Steps == 0 {
+		return 0
+	}
+	return float64(len(r.Output)) / float64(r.Steps)
+}
+
+// IterationRecord describes one engine iteration for the cost model.
+type IterationRecord struct {
+	// BatchSize is the number of active requests this iteration.
+	BatchSize int
+	// ReqIDs[i] is the request ID of the i-th active request, letting the
+	// cost model attribute iteration time to requests (per-request
+	// latency percentiles).
+	ReqIDs []int
+	// TreeNodes[i] is the speculated-node count of the i-th active
+	// request's tree (0 for incremental decoding).
+	TreeNodes []int
+	// TreeLeaves[i] is the number of root-to-leaf sequences in the i-th
+	// request's tree — the kernel count of the sequence-based decoding
+	// baseline (Figure 11).
+	TreeLeaves []int
+	// TreePathPositions[i] is the sum of root-to-leaf path lengths of the
+	// i-th request's tree — the token-positions the sequence-based
+	// decoding baseline processes (shared prefixes recomputed).
+	TreePathPositions []int
+	// Committed[i] is the number of tokens the i-th request committed.
+	Committed []int
+	// CtxLens[i] is the committed context length of the i-th request at
+	// the END of the iteration (drives KV-read costs).
+	CtxLens []int
+	// SpecSteps is the number of SSM decoding levels used to build the
+	// trees (0 for incremental).
+	SpecSteps int
+}
+
+// Engine serves requests.
+type Engine struct {
+	cfg Config
+}
+
+// NewEngine validates the configuration and returns an engine.
+func NewEngine(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg}, nil
+}
+
+// Config returns the engine's effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// reqState is the per-request serving state held while a request occupies
+// a continuous-batching slot.
+type reqState struct {
+	pos      int // index into the Run input slice
+	req      workload.Request
+	llm      model.Session
+	spec     treeSpeculator // nil for incremental decoding
+	lastTok  model.Token
+	lastDist []float32
+	rng      *tensor.RNG
+	res      RequestResult
+	done     bool
+}
+
+// Run serves the trace to completion with continuous batching and returns
+// one result per request (in request order) plus the per-iteration records
+// the hardware cost model consumes.
+func (e *Engine) Run(reqs []workload.Request) ([]RequestResult, []IterationRecord) {
+	results := make([]RequestResult, len(reqs))
+	var iters []IterationRecord
+
+	pending := make([]int, len(reqs)) // indices into reqs
+	for i := range pending {
+		pending[i] = i
+	}
+	var active []*reqState
+
+	for len(pending) > 0 || len(active) > 0 {
+		// Admission: iteration-level scheduling (Orca). New requests are
+		// admitted (and prefilled) as soon as a slot frees up, without
+		// waiting for the whole batch to drain.
+		for len(active) < e.cfg.MaxBatch && len(pending) > 0 {
+			idx := pending[0]
+			pending = pending[1:]
+			st := e.admit(reqs[idx])
+			st.pos = idx
+			active = append(active, st)
+		}
+
+		rec := IterationRecord{BatchSize: len(active)}
+		if e.cfg.Mode != Incremental {
+			rec.SpecSteps = e.specDepth()
+		}
+		for _, st := range active {
+			sh := e.step(st)
+			rec.ReqIDs = append(rec.ReqIDs, st.req.ID)
+			rec.TreeNodes = append(rec.TreeNodes, sh.nodes)
+			rec.TreeLeaves = append(rec.TreeLeaves, sh.leaves)
+			rec.TreePathPositions = append(rec.TreePathPositions, sh.pathPositions)
+			rec.Committed = append(rec.Committed, sh.committed)
+			rec.CtxLens = append(rec.CtxLens, st.llm.Len())
+		}
+		iters = append(iters, rec)
+
+		// Retire finished requests.
+		var still []*reqState
+		for _, st := range active {
+			if st.done {
+				results[st.pos] = st.res
+			} else {
+				still = append(still, st)
+			}
+		}
+		active = still
+	}
+	return results, iters
+}
+
+func (e *Engine) specDepth() int {
+	switch {
+	case e.cfg.Mode == SequenceSpec:
+		return e.cfg.SeqDepth
+	case e.cfg.Adaptive != nil:
+		if e.cfg.Adaptive.MaxDepth > 0 {
+			return e.cfg.Adaptive.MaxDepth
+		}
+		return 8
+	default:
+		return len(e.cfg.Expansion)
+	}
+}
+
+func (e *Engine) admit(req workload.Request) *reqState {
+	st := &reqState{
+		req: req,
+		llm: e.cfg.LLM.NewSession(),
+		rng: tensor.NewRNG(e.cfg.Seed ^ (uint64(req.ID)+1)*0x9e3779b97f4a7c15),
+		res: RequestResult{ID: req.ID, PromptLen: len(req.Prompt)},
+	}
+	st.lastDist = st.llm.Prefill(req.Prompt)
+	st.lastTok = req.Prompt[len(req.Prompt)-1]
+	switch e.cfg.Mode {
+	case SequenceSpec:
+		st.spec = speculator.NewSequence(e.cfg.SeqDepth, e.cfg.Sample, e.cfg.SSMs[0])
+	case TreeSpec:
+		if e.cfg.Adaptive != nil {
+			st.spec = speculator.NewAdaptive(*e.cfg.Adaptive, e.cfg.Sample, e.cfg.SSMs[0])
+		} else {
+			st.spec = speculator.New(speculator.Config{
+				Expansion: e.cfg.Expansion,
+				Sample:    e.cfg.Sample,
+				ForceTopK: e.cfg.ForceTopK,
+				Seed:      e.cfg.Seed ^ uint64(req.ID)<<17,
+			}, e.cfg.SSMs...)
+		}
+	}
+	if st.spec != nil {
+		st.spec.Prefill(req.Prompt)
+	}
+	return st
+}
+
+// stepShape reports one request-iteration's work for the cost model.
+type stepShape struct {
+	nodes         int // speculated tree nodes verified
+	leaves        int // root-to-leaf sequences in the tree
+	pathPositions int // summed root-to-leaf path lengths
+	committed     int // tokens committed
+}
+
+// step runs one decoding iteration for one request.
+func (e *Engine) step(st *reqState) stepShape {
+	if e.cfg.Mode == Incremental {
+		tok := e.cfg.Sample.Sample(st.rng, st.lastDist)
+		st.lastDist = st.llm.Decode(tok)
+		e.commit(st, []model.Token{tok})
+		st.res.Steps++
+		st.res.CommittedPerStep = append(st.res.CommittedPerStep, 1)
+		st.res.TreeNodesPerStep = append(st.res.TreeNodesPerStep, 0)
+		return stepShape{committed: 1}
+	}
+
+	tr := st.spec.Speculate(st.lastTok)
+	dists := st.llm.DecodeTree(tr)
+	var verified []model.Token
+	if e.cfg.NaiveSampling && e.cfg.Sample.Mode == sampling.Stochastic {
+		verified = verifier.VerifyNaive(dists, tr, e.cfg.Sample, st.rng)
+	} else {
+		verified = verifier.Verify(dists, tr, e.cfg.Sample, st.rng)
+	}
+	verified = e.truncate(st, verified)
+	st.lastDist = st.llm.Accept(verified)
+	st.spec.Accept(verified)
+	e.commit(st, verified)
+	st.res.Steps++
+	st.res.CommittedPerStep = append(st.res.CommittedPerStep, len(verified))
+	st.res.TreeNodesPerStep = append(st.res.TreeNodesPerStep, tr.NumSpeculated())
+
+	sh := stepShape{
+		nodes:     tr.NumSpeculated(),
+		committed: len(verified),
+	}
+	for _, leaf := range tr.Leaves() {
+		sh.leaves++
+		sh.pathPositions += tr.Node(leaf).Depth
+	}
+	return sh
+}
+
+// truncate clips a verified token run at the request's remaining
+// generation budget and just after the first EOS. The result always
+// retains at least one token (verification emits at least the bonus token
+// and the budget is positive while the request is active), so the session
+// Accept below stays well-defined.
+func (e *Engine) truncate(st *reqState, verified []model.Token) []model.Token {
+	if remaining := st.req.MaxNewTok - len(st.res.Output); len(verified) > remaining {
+		verified = verified[:remaining]
+	}
+	if e.cfg.EOS >= 0 {
+		for i, tok := range verified {
+			if tok == e.cfg.EOS {
+				return verified[:i+1]
+			}
+		}
+	}
+	return verified
+}
+
+// commit appends tokens to the request output and updates completion.
+func (e *Engine) commit(st *reqState, tokens []model.Token) {
+	st.res.Output = append(st.res.Output, tokens...)
+	if len(tokens) > 0 {
+		st.lastTok = tokens[len(tokens)-1]
+	}
+	if len(st.res.Output) >= st.req.MaxNewTok {
+		st.done = true
+	}
+	if e.cfg.EOS >= 0 && len(tokens) > 0 && tokens[len(tokens)-1] == e.cfg.EOS {
+		st.done = true
+	}
+}

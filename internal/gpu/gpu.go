@@ -1,0 +1,247 @@
+// Package gpu is the analytical hardware cost model that prices the
+// token-level work measured by the serving engine on the paper's testbed:
+// NVIDIA A10 GPUs (AWS g5.12xlarge), PCIe within a node, 100 Gbps Ethernet
+// across nodes.
+//
+// LLM decoding at the paper's batch sizes is memory-bandwidth-bound: a
+// step's latency is dominated by streaming the weights from HBM (or, for
+// offloading, from CPU DRAM over PCIe), which is why verifying a ~20-node
+// token tree costs roughly the same as decoding one token — the insight
+// SpecInfer exploits (§5.3). The model is a roofline: per pipeline stage,
+// max(weight+KV traffic, compute) plus tensor-parallel all-reduces,
+// pipeline activation transfers, and kernel-launch overhead. The last term
+// is what separates tree-based parallel decoding from the sequence-based
+// baseline in Figure 11: sequence decoding launches one attention kernel
+// per candidate sequence and re-processes shared prefixes, while the fused
+// tree kernel touches each tree node once.
+package gpu
+
+import (
+	"fmt"
+
+	"specinfer/internal/model"
+)
+
+// Device describes one GPU.
+type Device struct {
+	Name string
+	// FLOPs is effective dense fp16 throughput in FLOP/s (tensor cores at
+	// realistic decode-kernel efficiency, not the datasheet peak).
+	FLOPs float64
+	// HBM is device memory bandwidth in bytes/s.
+	HBM float64
+	// Memory is device memory capacity in bytes.
+	Memory int64
+	// KernelLaunch is the fixed cost of launching one kernel, seconds.
+	KernelLaunch float64
+}
+
+// A10 returns the NVIDIA A10 24GB used throughout the paper's evaluation.
+// 125 TFLOPS fp16 tensor peak derated to 50% for decode-shaped GEMMs;
+// 600 GB/s GDDR6.
+func A10() Device {
+	return Device{
+		Name:         "A10-24GB",
+		FLOPs:        62.5e12,
+		HBM:          600e9,
+		Memory:       24 << 30,
+		KernelLaunch: 5e-6,
+	}
+}
+
+// Link describes an interconnect.
+type Link struct {
+	Name      string
+	Bandwidth float64 // bytes/s
+	Latency   float64 // seconds per message
+}
+
+// PCIeGen4 is the intra-node GPU-GPU and host-GPU path on g5.12xlarge
+// (no NVLink): 16 lanes gen4, ~16 GB/s effective.
+func PCIeGen4() Link { return Link{Name: "pcie4x16", Bandwidth: 16e9, Latency: 10e-6} }
+
+// Ethernet100G is the inter-node network: 100 Gbps, ~50us latency.
+func Ethernet100G() Link { return Link{Name: "eth100g", Bandwidth: 12.5e9, Latency: 50e-6} }
+
+// Transfer returns the time to move bytes across a link.
+func (l Link) Transfer(bytes float64) float64 {
+	return l.Latency + bytes/l.Bandwidth
+}
+
+// AllReduce estimates a ring all-reduce of the given payload across n
+// participants: 2(n-1)/n of the payload crosses each link.
+func (l Link) AllReduce(bytes float64, n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	steps := float64(2 * (n - 1))
+	chunk := bytes / float64(n)
+	return steps * (l.Latency + chunk/l.Bandwidth)
+}
+
+// Plan is a parallelization strategy for the LLM: tensor model parallelism
+// of degree TP within a node, pipeline model parallelism of degree PP
+// across nodes (§5.1, following Megatron-LM).
+type Plan struct {
+	TP, PP int
+	// Intra connects the TP group (within a node), Inter connects
+	// pipeline stages (across nodes).
+	Intra, Inter Link
+}
+
+// GPUs returns the total number of devices the plan occupies.
+func (p Plan) GPUs() int { return p.TP * p.PP }
+
+func (p Plan) validate() {
+	if p.TP < 1 || p.PP < 1 {
+		panic(fmt.Sprintf("gpu: invalid plan TP=%d PP=%d", p.TP, p.PP))
+	}
+}
+
+// SingleGPU is the trivial plan.
+func SingleGPU() Plan { return Plan{TP: 1, PP: 1, Intra: PCIeGen4(), Inter: Ethernet100G()} }
+
+// TensorParallel returns a TP-way single-node plan.
+func TensorParallel(tp int) Plan {
+	return Plan{TP: tp, PP: 1, Intra: PCIeGen4(), Inter: Ethernet100G()}
+}
+
+// TwoNode returns the paper's LLaMA-65B deployment: TP within each of two
+// nodes, pipeline across them.
+func TwoNode(tpPerNode int) Plan {
+	return Plan{TP: tpPerNode, PP: 2, Intra: PCIeGen4(), Inter: Ethernet100G()}
+}
+
+// StepParams describes the work of one LLM decoding iteration.
+type StepParams struct {
+	// Batch is the number of active requests.
+	Batch int
+	// Positions is the total number of token-positions processed: Batch
+	// for incremental decoding, the summed tree sizes for tree-based
+	// verification, the summed per-sequence path lengths for the
+	// sequence-based decoding baseline.
+	Positions int
+	// AttnKernels is the number of attention kernel launches per layer:
+	// Batch for fused tree decoding (one kernel per request), the total
+	// number of decomposed sequences for the sequence-based baseline.
+	AttnKernels int
+	// CtxLen is the mean KV-cache length the attention reads per request.
+	CtxLen int
+}
+
+func (p StepParams) validate() {
+	if p.Batch < 1 || p.Positions < p.Batch || p.AttnKernels < 0 || p.CtxLen < 0 {
+		panic(fmt.Sprintf("gpu: invalid step params %+v", p))
+	}
+}
+
+// matmulKernelsPerLayer counts the non-attention kernel launches of one
+// transformer layer (QKV, output, MLP projections and norms, fused
+// conservatively).
+const matmulKernelsPerLayer = 6
+
+// LLMStep estimates the wall-clock seconds of one LLM decoding iteration
+// under the plan. It is the core of Figures 7, 10 and 11.
+func LLMStep(spec model.Spec, plan Plan, dev Device, p StepParams) float64 {
+	plan.validate()
+	p.validate()
+	layersPerStage := float64(spec.Layers) / float64(plan.PP)
+
+	// Weight traffic per GPU of a stage (TP shards the stage's weights).
+	weightBytes := float64(spec.ParamBytes()) / float64(plan.PP*plan.TP)
+	// KV-cache traffic: every position's attention reads the request
+	// context, sharded like the weights.
+	kvBytes := float64(p.Positions) * float64(p.CtxLen) * float64(spec.KVBytesPerToken()) /
+		float64(plan.PP*plan.TP)
+	tMem := (weightBytes + kvBytes) / dev.HBM
+
+	// Compute per GPU of a stage.
+	flops := float64(spec.FLOPsPerToken()) * float64(p.Positions) / float64(plan.PP*plan.TP)
+	tComp := flops / dev.FLOPs
+
+	// Kernel launches per stage: matmuls once per layer, attention
+	// kernels as configured.
+	launches := layersPerStage * float64(matmulKernelsPerLayer+p.AttnKernels) * dev.KernelLaunch
+
+	// Tensor-parallel all-reduces: two per layer over the activations.
+	actBytes := float64(p.Positions) * float64(spec.Hidden) * float64(spec.BytesParam)
+	commTP := layersPerStage * 2 * plan.Intra.AllReduce(actBytes, plan.TP)
+
+	stage := max(tMem, tComp) + launches + commTP
+
+	// Decoding runs the pipeline stages sequentially for an iteration,
+	// transferring activations between consecutive stages.
+	total := float64(plan.PP) * stage
+	if plan.PP > 1 {
+		total += float64(plan.PP-1) * plan.Inter.Transfer(actBytes)
+	}
+	return total
+}
+
+// SSMStep estimates one SSM decoding level: the SSM serves its requests
+// with data parallelism on a single GPU (§5.1), so its cost is a
+// single-device roofline over the level's frontier positions.
+func SSMStep(spec model.Spec, dev Device, positions, ctxLen int) float64 {
+	if positions < 1 {
+		positions = 1
+	}
+	weightBytes := float64(spec.ParamBytes())
+	kvBytes := float64(positions) * float64(ctxLen) * float64(spec.KVBytesPerToken())
+	tMem := (weightBytes + kvBytes) / dev.HBM
+	tComp := float64(spec.FLOPsPerToken()) * float64(positions) / dev.FLOPs
+	launches := float64(spec.Layers*(matmulKernelsPerLayer+1)) * dev.KernelLaunch
+	return max(tMem, tComp) + launches
+}
+
+// OffloadStep estimates one LLM decoding iteration when the weights live
+// in CPU DRAM and stream over PCIe each step (§5.4, Figure 8). Compute
+// overlaps with the transfer, so the step is the max of the two, plus
+// kernel overhead.
+func OffloadStep(spec model.Spec, dev Device, host Link, p StepParams) float64 {
+	p.validate()
+	tStream := float64(spec.ParamBytes()) / host.Bandwidth
+	kvBytes := float64(p.Positions) * float64(p.CtxLen) * float64(spec.KVBytesPerToken())
+	tMem := kvBytes / dev.HBM
+	tComp := float64(spec.FLOPsPerToken()) * float64(p.Positions) / dev.FLOPs
+	launches := float64(spec.Layers*(matmulKernelsPerLayer+p.AttnKernels)) * dev.KernelLaunch
+	return max(tStream, tComp+tMem) + launches
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Energy constants: accessing HBM costs two to three orders of magnitude
+// more energy than a floating-point operation (§2 of the paper, which
+// argues SpecInfer's reduced parameter traffic translates directly into
+// energy savings). Values are representative of GDDR6/ampere-class parts.
+const (
+	// JoulesPerHBMByte is the energy to move one byte through device
+	// memory (~20 pJ/byte).
+	JoulesPerHBMByte = 20e-12
+	// JoulesPerFLOP is the energy of one fp16 FLOP (~0.1 pJ).
+	JoulesPerFLOP = 0.1e-12
+	// JoulesPerPCIeByte is the energy to move one byte over PCIe
+	// (~60 pJ/byte including controller overheads).
+	JoulesPerPCIeByte = 60e-12
+)
+
+// StepEnergy estimates the energy (joules) of one LLM decoding iteration:
+// weight + KV traffic from HBM plus arithmetic. Because the weight read
+// happens once per step regardless of how many tokens it serves,
+// verifying a token tree amortizes the dominant term — the paper's §2
+// energy argument, quantified.
+func StepEnergy(spec model.Spec, p StepParams) float64 {
+	weightBytes := float64(spec.ParamBytes())
+	kvBytes := float64(p.Positions) * float64(p.CtxLen) * float64(spec.KVBytesPerToken())
+	flops := float64(spec.FLOPsPerToken()) * float64(p.Positions)
+	return (weightBytes+kvBytes)*JoulesPerHBMByte + flops*JoulesPerFLOP
+}
+
+// OffloadStepEnergy adds the PCIe streaming energy of an offloading step.
+func OffloadStepEnergy(spec model.Spec, p StepParams) float64 {
+	return StepEnergy(spec, p) + float64(spec.ParamBytes())*JoulesPerPCIeByte
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std = %v", s.Std)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary should be zero: %+v", s)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	sorted := []float64{0, 10}
+	if got := Quantile(sorted, 0.25); got != 2.5 {
+		t.Fatalf("q0.25 = %v, want 2.5", got)
+	}
+	if Quantile(sorted, 0) != 0 || Quantile(sorted, 1) != 10 {
+		t.Fatal("boundary quantiles wrong")
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+}
+
+func TestCDFProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		pts := CDF(xs)
+		if len(xs) == 0 {
+			return pts == nil
+		}
+		// Monotone in both coordinates; last point has P == 1.
+		for i := 1; i < len(pts); i++ {
+			if pts[i].Value <= pts[i-1].Value || pts[i].P <= pts[i-1].P {
+				return false
+			}
+		}
+		return math.Abs(pts[len(pts)-1].P-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFDuplicates(t *testing.T) {
+	pts := CDF([]float64{1, 1, 2})
+	if len(pts) != 2 {
+		t.Fatalf("want 2 distinct points, got %v", pts)
+	}
+	if pts[0].Value != 1 || math.Abs(pts[0].P-2.0/3) > 1e-12 {
+		t.Fatalf("duplicate handling wrong: %v", pts)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5}
+	got := CDFAt(xs, []float64{0, 0.5, 1})
+	want := []float64{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CDFAt = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQuantileMatchesSortPosition(t *testing.T) {
+	xs := []float64{9, 7, 5, 3, 1}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if Quantile(sorted, 0.5) != 5 {
+		t.Fatal("median wrong")
+	}
+}

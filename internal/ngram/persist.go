@@ -1,0 +1,83 @@
+package ngram
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Trained models (in particular boost-tuned SSM pools) are worth keeping;
+// this file provides a stable gob-based snapshot format. The transformer
+// substrate intentionally has no persistence: its weights are a pure
+// function of the config seed.
+
+// snapshot is the exported on-wire form.
+type snapshot struct {
+	Version  int
+	Config   Config
+	Contexts [][]ctxEntry // per order
+}
+
+type ctxEntry struct {
+	Key    string
+	Toks   []int
+	Counts []float64
+}
+
+const snapshotVersion = 1
+
+// Save writes the model (config and counts) to w.
+func (m *Model) Save(w io.Writer) error {
+	snap := snapshot{
+		Version:  snapshotVersion,
+		Config:   m.cfg,
+		Contexts: make([][]ctxEntry, len(m.counts)),
+	}
+	for k, ctxs := range m.counts {
+		for key, cc := range ctxs {
+			e := ctxEntry{Key: key}
+			for tok, c := range cc.tok {
+				e.Toks = append(e.Toks, tok)
+				e.Counts = append(e.Counts, c)
+			}
+			snap.Contexts[k] = append(snap.Contexts[k], e)
+		}
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*Model, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("ngram: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("ngram: unsupported snapshot version %d", snap.Version)
+	}
+	if snap.Config.Order != len(snap.Contexts) {
+		return nil, fmt.Errorf("ngram: corrupt snapshot: order %d but %d context levels",
+			snap.Config.Order, len(snap.Contexts))
+	}
+	m := New(snap.Config)
+	for k, entries := range snap.Contexts {
+		for _, e := range entries {
+			if len(e.Toks) != len(e.Counts) {
+				return nil, fmt.Errorf("ngram: corrupt snapshot: entry lengths differ")
+			}
+			cc := &ctxCounts{tok: make(map[int]float64, len(e.Toks))}
+			for i, tok := range e.Toks {
+				if tok < 0 || tok >= m.cfg.Vocab {
+					return nil, fmt.Errorf("ngram: corrupt snapshot: token %d out of vocab", tok)
+				}
+				if e.Counts[i] < 0 {
+					return nil, fmt.Errorf("ngram: corrupt snapshot: negative count")
+				}
+				cc.tok[tok] = e.Counts[i]
+				cc.total += e.Counts[i]
+			}
+			m.counts[k][e.Key] = cc
+		}
+	}
+	return m, nil
+}

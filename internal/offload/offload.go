@@ -1,0 +1,111 @@
+// Package offload models offloading-based LLM inference (§5.4, §6.3): the
+// LLM's weights live in CPU DRAM and stream to the GPU over PCIe each
+// decoding step, the deployment style of FlexGen. It adds a memory planner
+// on top of gpu.OffloadStep: whatever fraction of the weights (plus the
+// KV cache) fits in HBM stays resident, and only the remainder streams,
+// which is what an offloading runtime actually does with a 24GB device.
+package offload
+
+import (
+	"fmt"
+
+	"specinfer/internal/gpu"
+	"specinfer/internal/model"
+)
+
+// Config describes an offloading deployment.
+type Config struct {
+	LLM    model.Spec
+	Device gpu.Device
+	Host   gpu.Link
+	// MaxSeqLen and MaxBatch bound the KV cache the planner reserves.
+	MaxSeqLen int
+	MaxBatch  int
+	// ActivationReserve is HBM held back for activations/workspace.
+	ActivationReserve int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Device.Name == "" {
+		c.Device = gpu.A10()
+	}
+	if c.Host.Name == "" {
+		c.Host = gpu.PCIeGen4()
+	}
+	if c.MaxSeqLen == 0 {
+		c.MaxSeqLen = 512
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 16
+	}
+	if c.ActivationReserve == 0 {
+		c.ActivationReserve = 2 << 30
+	}
+	return c
+}
+
+// Plan is the memory planner's outcome.
+type Plan struct {
+	// ResidentBytes of weights pinned in HBM.
+	ResidentBytes int64
+	// StreamedBytes of weights transferred from DRAM every step.
+	StreamedBytes int64
+	// KVBudget reserved for the KV cache.
+	KVBudget int64
+	// ResidentFraction = ResidentBytes / total weight bytes.
+	ResidentFraction float64
+}
+
+// Executor prices offloading-based decoding steps.
+type Executor struct {
+	cfg  Config
+	plan Plan
+}
+
+// NewExecutor plans memory for the deployment. It fails if the model
+// genuinely requires offloading capacity the host cannot provide (the
+// paper's setting always fits in 192GB DRAM, so only the degenerate
+// zero-memory case errors).
+func NewExecutor(cfg Config) (*Executor, error) {
+	cfg = cfg.withDefaults()
+	total := cfg.LLM.ParamBytes()
+	kv := int64(cfg.MaxBatch) * int64(cfg.MaxSeqLen) * cfg.LLM.KVBytesPerToken()
+	avail := cfg.Device.Memory - kv - cfg.ActivationReserve
+	if avail < 0 {
+		return nil, fmt.Errorf("offload: KV budget %d exceeds device memory %d", kv, cfg.Device.Memory)
+	}
+	resident := avail
+	if resident > total {
+		resident = total
+	}
+	e := &Executor{cfg: cfg, plan: Plan{
+		ResidentBytes:    resident,
+		StreamedBytes:    total - resident,
+		KVBudget:         kv,
+		ResidentFraction: float64(resident) / float64(total),
+	}}
+	return e, nil
+}
+
+// Plan returns the memory plan.
+func (e *Executor) Plan() Plan { return e.plan }
+
+// RequiresOffloading reports whether any weights must stream per step.
+func (e *Executor) RequiresOffloading() bool { return e.plan.StreamedBytes > 0 }
+
+// StepTime prices one decoding iteration: streamed weights cross PCIe,
+// resident weights and KV stream from HBM, compute overlaps with the PCIe
+// transfer (FlexGen's pipelined schedule).
+func (e *Executor) StepTime(p gpu.StepParams) float64 {
+	tPCIe := float64(e.plan.StreamedBytes) / e.cfg.Host.Bandwidth
+	hbmBytes := float64(e.plan.ResidentBytes) +
+		float64(p.Positions)*float64(p.CtxLen)*float64(e.cfg.LLM.KVBytesPerToken())
+	tHBM := hbmBytes / e.cfg.Device.HBM
+	tComp := float64(e.cfg.LLM.FLOPsPerToken()) * float64(p.Positions) / e.cfg.Device.FLOPs
+	launches := float64(e.cfg.LLM.Layers*(7+p.AttnKernels)) * e.cfg.Device.KernelLaunch
+	onDevice := tHBM + tComp
+	if tPCIe > onDevice {
+		return tPCIe + launches
+	}
+	return onDevice + launches
+}

@@ -1,0 +1,88 @@
+package offload
+
+import (
+	"testing"
+
+	"specinfer/internal/gpu"
+	"specinfer/internal/model"
+)
+
+func TestPlannerSplitsWeights(t *testing.T) {
+	e, err := NewExecutor(Config{LLM: model.OPT13B})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := e.Plan()
+	if !e.RequiresOffloading() {
+		t.Fatal("OPT-13B must require offloading on a 24GB device")
+	}
+	if p.ResidentBytes+p.StreamedBytes != model.OPT13B.ParamBytes() {
+		t.Fatal("plan does not account for all weights")
+	}
+	if p.ResidentFraction <= 0 || p.ResidentFraction >= 1 {
+		t.Fatalf("resident fraction %.2f should be partial", p.ResidentFraction)
+	}
+}
+
+func TestSmallModelFullyResident(t *testing.T) {
+	e, err := NewExecutor(Config{LLM: model.OPT125M})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.RequiresOffloading() {
+		t.Fatal("OPT-125M fits in HBM; nothing should stream")
+	}
+	if e.Plan().ResidentFraction != 1 {
+		t.Fatal("fraction must be 1 for resident models")
+	}
+}
+
+func TestStepTimeRegimes(t *testing.T) {
+	e13, _ := NewExecutor(Config{LLM: model.OPT13B})
+	e30, _ := NewExecutor(Config{LLM: model.OPT30B})
+	p := gpu.StepParams{Batch: 1, Positions: 1, AttnKernels: 1, CtxLen: 128}
+	t13 := e13.StepTime(p)
+	t30 := e30.StepTime(p)
+	// FlexGen on A10: roughly 1-2s (13B) and 2.5-4.5s (30B) per step.
+	if t13 < 0.5 || t13 > 2.5 {
+		t.Fatalf("OPT-13B offload step %.3fs outside regime", t13)
+	}
+	if t30 <= t13 {
+		t.Fatal("30B step must exceed 13B step")
+	}
+	if t30 < 1.5 || t30 > 6 {
+		t.Fatalf("OPT-30B offload step %.3fs outside regime", t30)
+	}
+}
+
+func TestTreeVerificationNearlyFreeWhenStreaming(t *testing.T) {
+	e, _ := NewExecutor(Config{LLM: model.OPT30B})
+	one := e.StepTime(gpu.StepParams{Batch: 1, Positions: 1, AttnKernels: 1, CtxLen: 128})
+	tree := e.StepTime(gpu.StepParams{Batch: 1, Positions: 21, AttnKernels: 1, CtxLen: 128})
+	if tree > one*1.05 {
+		t.Fatalf("tree verify %.3fs must be ~free next to streaming %.3fs", tree, one)
+	}
+}
+
+func TestKVBudgetErrors(t *testing.T) {
+	_, err := NewExecutor(Config{
+		LLM:       model.OPT30B,
+		MaxSeqLen: 100000,
+		MaxBatch:  64,
+	})
+	if err == nil {
+		t.Fatal("absurd KV budget must fail planning")
+	}
+}
+
+func TestResidentFractionImprovesLatency(t *testing.T) {
+	// A bigger device pins more weights and must be faster.
+	small, _ := NewExecutor(Config{LLM: model.OPT13B})
+	bigDev := gpu.A10()
+	bigDev.Memory = 40 << 30
+	big, _ := NewExecutor(Config{LLM: model.OPT13B, Device: bigDev})
+	p := gpu.StepParams{Batch: 1, Positions: 1, AttnKernels: 1, CtxLen: 128}
+	if big.StepTime(p) >= small.StepTime(p) {
+		t.Fatal("more HBM must reduce offloading step time")
+	}
+}

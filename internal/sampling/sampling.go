@@ -1,0 +1,141 @@
+// Package sampling implements the decoding policies used by SpecInfer:
+// greedy decoding and stochastic decoding with temperature, top-k and
+// top-p (nucleus) filtering (§7 notes SpecInfer supports all three).
+//
+// Model sessions return temperature-1 probabilities; a Config transforms
+// them into the actual sampling distribution. Verification (MSS) operates
+// on these transformed distributions, since Theorem 4.2's equivalence is
+// stated w.r.t. the distribution the LLM actually samples from.
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"specinfer/internal/tensor"
+)
+
+// Mode selects greedy or stochastic decoding.
+type Mode int
+
+const (
+	// Greedy selects the highest-probability token each step.
+	Greedy Mode = iota
+	// Stochastic samples from the (transformed) model distribution.
+	Stochastic
+)
+
+func (m Mode) String() string {
+	if m == Greedy {
+		return "greedy"
+	}
+	return "stochastic"
+}
+
+// Config is a decoding policy.
+type Config struct {
+	Mode        Mode
+	Temperature float64 // <= 0 or 1 means unmodified
+	TopK        int     // 0 disables
+	TopP        float64 // 0 or >= 1 disables
+}
+
+// Validate returns a non-nil error for nonsensical settings.
+func (c Config) Validate() error {
+	if c.Temperature < 0 {
+		return fmt.Errorf("sampling: negative temperature %v", c.Temperature)
+	}
+	if c.TopK < 0 {
+		return fmt.Errorf("sampling: negative top-k %d", c.TopK)
+	}
+	if c.TopP < 0 {
+		return fmt.Errorf("sampling: negative top-p %v", c.TopP)
+	}
+	return nil
+}
+
+// Transform converts temperature-1 probabilities into the distribution
+// the policy actually samples from. The input is not modified. For Greedy
+// the result is a one-hot distribution on the argmax, which makes greedy
+// decoding a degenerate case of the stochastic machinery.
+func (c Config) Transform(probs []float32) []float32 {
+	out := make([]float32, len(probs))
+	if c.Mode == Greedy {
+		i, _ := tensor.ArgMax(probs)
+		out[i] = 1
+		return out
+	}
+	copy(out, probs)
+	if c.Temperature > 0 && c.Temperature != 1 {
+		// softmax(logits/T) == p^{1/T} renormalized.
+		invT := 1.0 / c.Temperature
+		for i, p := range out {
+			if p > 0 {
+				out[i] = float32(math.Pow(float64(p), invT))
+			}
+		}
+		tensor.Normalize(out)
+	}
+	if c.TopK > 0 && c.TopK < len(out) {
+		keep := tensor.TopK(out, c.TopK)
+		kept := make([]float32, len(out))
+		for _, i := range keep {
+			kept[i] = out[i]
+		}
+		out = kept
+		tensor.Normalize(out)
+	}
+	if c.TopP > 0 && c.TopP < 1 {
+		out = nucleus(out, c.TopP)
+	}
+	return out
+}
+
+// nucleus keeps the smallest prefix of tokens (by descending probability)
+// whose cumulative mass reaches p, then renormalizes.
+func nucleus(probs []float32, p float64) []float32 {
+	type iv struct {
+		i int
+		v float32
+	}
+	order := make([]iv, 0, len(probs))
+	for i, v := range probs {
+		if v > 0 {
+			order = append(order, iv{i, v})
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].v != order[b].v {
+			return order[a].v > order[b].v
+		}
+		return order[a].i < order[b].i
+	})
+	out := make([]float32, len(probs))
+	var acc float64
+	for _, e := range order {
+		out[e.i] = e.v
+		acc += float64(e.v)
+		if acc >= p {
+			break
+		}
+	}
+	tensor.Normalize(out)
+	return out
+}
+
+// Sample draws a token from the transformed distribution.
+func (c Config) Sample(rng *tensor.RNG, probs []float32) int {
+	d := c.Transform(probs)
+	if c.Mode == Greedy {
+		i, _ := tensor.ArgMax(d)
+		return i
+	}
+	return rng.SampleCategorical(d)
+}
+
+// GreedyConfig is the default greedy policy.
+func GreedyConfig() Config { return Config{Mode: Greedy} }
+
+// StochasticConfig is plain temperature-1 sampling.
+func StochasticConfig() Config { return Config{Mode: Stochastic, Temperature: 1} }

@@ -1,0 +1,143 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"specinfer/internal/tensor"
+)
+
+func sumf(x []float32) float64 {
+	var s float64
+	for _, v := range x {
+		s += float64(v)
+	}
+	return s
+}
+
+func TestGreedyTransformIsOneHot(t *testing.T) {
+	c := GreedyConfig()
+	d := c.Transform([]float32{0.1, 0.6, 0.3})
+	if d[1] != 1 || d[0] != 0 || d[2] != 0 {
+		t.Fatalf("greedy transform = %v", d)
+	}
+	if c.Sample(tensor.NewRNG(1), []float32{0.1, 0.6, 0.3}) != 1 {
+		t.Fatal("greedy sample must return argmax")
+	}
+}
+
+func TestTemperatureSharpens(t *testing.T) {
+	p := []float32{0.6, 0.4}
+	cold := Config{Mode: Stochastic, Temperature: 0.5}.Transform(p)
+	hot := Config{Mode: Stochastic, Temperature: 2.0}.Transform(p)
+	if cold[0] <= p[0] {
+		t.Fatalf("T<1 must sharpen: %v", cold)
+	}
+	if hot[0] >= p[0] {
+		t.Fatalf("T>1 must flatten: %v", hot)
+	}
+	// T=0.5 on {0.6,0.4}: 0.36/0.52 ≈ 0.6923
+	if math.Abs(float64(cold[0])-0.36/0.52) > 1e-4 {
+		t.Fatalf("cold[0] = %v", cold[0])
+	}
+}
+
+func TestTopKTransform(t *testing.T) {
+	p := []float32{0.1, 0.5, 0.15, 0.25}
+	d := Config{Mode: Stochastic, TopK: 2}.Transform(p)
+	if d[0] != 0 || d[2] != 0 {
+		t.Fatalf("top-2 must zero the tail: %v", d)
+	}
+	if math.Abs(float64(d[1])-0.5/0.75) > 1e-5 || math.Abs(float64(d[3])-0.25/0.75) > 1e-5 {
+		t.Fatalf("top-2 renormalization wrong: %v", d)
+	}
+}
+
+func TestTopPTransform(t *testing.T) {
+	p := []float32{0.5, 0.3, 0.15, 0.05}
+	d := Config{Mode: Stochastic, TopP: 0.7}.Transform(p)
+	// Cumulative: 0.5, 0.8 — the nucleus is {0, 1}.
+	if d[2] != 0 || d[3] != 0 {
+		t.Fatalf("nucleus must drop the tail: %v", d)
+	}
+	if math.Abs(float64(d[0])-0.5/0.8) > 1e-5 {
+		t.Fatalf("nucleus renorm wrong: %v", d)
+	}
+}
+
+func TestTransformIsDistributionProperty(t *testing.T) {
+	f := func(seed uint64, tk uint8, rawT, rawP float64) bool {
+		rng := tensor.NewRNG(seed)
+		p := make([]float32, 12)
+		for i := range p {
+			p[i] = float32(rng.Float64())
+		}
+		tensor.Normalize(p)
+		c := Config{
+			Mode:        Stochastic,
+			Temperature: math.Abs(math.Mod(rawT, 3)),
+			TopK:        int(tk % 14),
+			TopP:        math.Abs(math.Mod(rawP, 1)),
+		}
+		d := c.Transform(p)
+		for _, v := range d {
+			if v < 0 || math.IsNaN(float64(v)) {
+				return false
+			}
+		}
+		return math.Abs(sumf(d)-1) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformDoesNotMutateInput(t *testing.T) {
+	p := []float32{0.25, 0.25, 0.5}
+	orig := append([]float32(nil), p...)
+	Config{Mode: Stochastic, Temperature: 0.3, TopK: 2, TopP: 0.8}.Transform(p)
+	for i := range p {
+		if p[i] != orig[i] {
+			t.Fatal("Transform mutated its input")
+		}
+	}
+}
+
+func TestStochasticSampleFrequencies(t *testing.T) {
+	c := StochasticConfig()
+	rng := tensor.NewRNG(2)
+	p := []float32{0.2, 0.8}
+	n := 50000
+	ones := 0
+	for i := 0; i < n; i++ {
+		if c.Sample(rng, p) == 1 {
+			ones++
+		}
+	}
+	got := float64(ones) / float64(n)
+	if math.Abs(got-0.8) > 0.01 {
+		t.Fatalf("sample frequency %v, want 0.8", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Config{Temperature: -1}).Validate(); err == nil {
+		t.Fatal("negative temperature must be invalid")
+	}
+	if err := (Config{TopK: -1}).Validate(); err == nil {
+		t.Fatal("negative top-k must be invalid")
+	}
+	if err := (Config{TopP: -0.1}).Validate(); err == nil {
+		t.Fatal("negative top-p must be invalid")
+	}
+	if err := StochasticConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Greedy.String() != "greedy" || Stochastic.String() != "stochastic" {
+		t.Fatal("mode strings wrong")
+	}
+}

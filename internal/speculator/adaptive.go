@@ -1,0 +1,163 @@
+package speculator
+
+import (
+	"sort"
+
+	"specinfer/internal/model"
+	"specinfer/internal/sampling"
+	"specinfer/internal/tensor"
+	"specinfer/internal/tree"
+)
+
+// AdaptiveConfig parameterizes dynamic token tree expansion — the open
+// problem §3 of the paper explicitly leaves as future work ("dynamically
+// expanding a token tree from an SSM"). Instead of a static ⟨k_1..k_m⟩
+// shape, the tree grows best-first under a node budget: candidate tokens
+// are ranked by their full path probability under the SSM, so wide
+// branching happens exactly where the SSM is uncertain-but-covering and
+// deep chains happen where it is confident.
+//
+// Note on stochastic decoding: adaptive expansion picks drafts
+// deterministically (best-first), so — like ForceTopK — it forfeits
+// Theorem 4.2's exact distribution preservation and, empirically, accepts
+// fewer tokens under MSS than sampled drafts do (see the ablation bench).
+// It is primarily intended for greedy decoding, where it beats the static
+// configuration at an equal node budget.
+type AdaptiveConfig struct {
+	// MaxNodes is the speculated-node budget per tree (compare against a
+	// static config's MaxNodes() for an equal-budget ablation).
+	MaxNodes int
+	// MaxDepth bounds the speculation depth (the paper uses 8).
+	MaxDepth int
+	// MinPathProb prunes candidates whose SSM path probability falls
+	// below this threshold; 0 disables pruning.
+	MinPathProb float64
+	// FanoutCap bounds how many children one node may receive (guards a
+	// degenerate flat tree on near-uniform SSM distributions).
+	FanoutCap int
+}
+
+func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
+	if c.MaxNodes == 0 {
+		c.MaxNodes = 10
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 8
+	}
+	if c.FanoutCap == 0 {
+		c.FanoutCap = 4
+	}
+	return c
+}
+
+// AdaptiveSpeculator drives one SSM with dynamic tree expansion. It
+// implements the same Prefill/Speculate/Accept lifecycle as Speculator so
+// the engine can use either interchangeably.
+type AdaptiveSpeculator struct {
+	cfg     AdaptiveConfig
+	sample  sampling.Config
+	ssm     model.Model
+	session model.Session
+}
+
+// NewAdaptive creates an adaptive speculator over a single SSM.
+func NewAdaptive(cfg AdaptiveConfig, sample sampling.Config, ssm model.Model) *AdaptiveSpeculator {
+	cfg = cfg.withDefaults()
+	if ssm == nil {
+		panic("speculator: adaptive speculator needs an SSM")
+	}
+	return &AdaptiveSpeculator{cfg: cfg, sample: sample, ssm: ssm, session: ssm.NewSession()}
+}
+
+// Prefill feeds the request prompt to the SSM session.
+func (a *AdaptiveSpeculator) Prefill(prompt []model.Token) { a.session.Prefill(prompt) }
+
+// Accept commits verified tokens into the SSM session.
+func (a *AdaptiveSpeculator) Accept(tokens []model.Token) { a.session.Accept(tokens) }
+
+// Speculate grows a token tree best-first under the node budget. Each
+// wave scores the current tree with one SSM pass, ranks every (node,
+// token) extension by path probability, and admits the best ones; it
+// stops when the budget is exhausted or no candidate clears the
+// probability threshold.
+func (a *AdaptiveSpeculator) Speculate(rootTok model.Token) *tree.Tree {
+	tr := tree.New(rootTok)
+	pathProb := map[tree.NodeID]float64{tr.Root(): 1}
+
+	for tr.NumSpeculated() < a.cfg.MaxNodes {
+		dists := a.session.DecodeTree(tr)
+		type cand struct {
+			parent tree.NodeID
+			tok    model.Token
+			prob   float32   // SSM token probability at parent
+			dist   []float32 // proposal distribution at parent
+			score  float64   // path probability
+		}
+		var cands []cand
+		for id := 0; id < tr.Len(); id++ {
+			n := tr.Node(id)
+			if n.Depth >= a.cfg.MaxDepth || len(n.Children) >= a.cfg.FanoutCap {
+				continue
+			}
+			d := a.proposalDist(dists[id])
+			// Consider the top few unused tokens of this node.
+			for _, tok := range topUnused(tr, id, d, a.cfg.FanoutCap) {
+				score := pathProb[id] * float64(d[tok])
+				if a.cfg.MinPathProb > 0 && score < a.cfg.MinPathProb {
+					continue
+				}
+				cands = append(cands, cand{parent: id, tok: tok, prob: d[tok], dist: d, score: score})
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+		// Admit up to half the remaining budget per wave so later waves
+		// can react to the deeper frontier, but always at least one.
+		admit := (a.cfg.MaxNodes - tr.NumSpeculated() + 1) / 2
+		if admit < 1 {
+			admit = 1
+		}
+		added := 0
+		for _, c := range cands {
+			if added == admit || tr.NumSpeculated() == a.cfg.MaxNodes {
+				break
+			}
+			id := tr.AddChildDist(c.parent, c.tok, c.prob, 0, c.dist)
+			pathProb[id] = c.score
+			added++
+		}
+		if added == 0 {
+			break
+		}
+	}
+	return tr
+}
+
+func (a *AdaptiveSpeculator) proposalDist(raw []float32) []float32 {
+	if a.sample.Mode == sampling.Greedy {
+		return raw
+	}
+	return a.sample.Transform(raw)
+}
+
+// topUnused returns up to limit highest-probability tokens of d that are
+// not already children of node id.
+func topUnused(tr *tree.Tree, id tree.NodeID, d []float32, limit int) []model.Token {
+	var out []model.Token
+	// Scan a shortlist larger than limit to skip existing children.
+	for _, tok := range tensor.TopK(d, limit+len(tr.Node(id).Children)) {
+		if d[tok] <= 0 {
+			break
+		}
+		if tr.ChildWithToken(id, tok) != -1 {
+			continue
+		}
+		out = append(out, tok)
+		if len(out) == limit {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package speculator
+
+import (
+	"math"
+	"sort"
+
+	"specinfer/internal/model"
+	"specinfer/internal/sampling"
+	"specinfer/internal/tensor"
+)
+
+// Trainable is a model whose conditional distributions can be fit from
+// token sequences (the n-gram substrate). The boost-tuning loop needs
+// nothing more from an SSM than this.
+type Trainable interface {
+	model.Model
+	Train(seq []int, weight float64)
+}
+
+// BoostConfig parameterizes collective boost-tuning (§3, merge-based token
+// tree construction).
+type BoostConfig struct {
+	// ContTokens is how many continuation tokens the LLM generates per
+	// prompt sample (the target the SSMs are tuned to align with).
+	ContTokens int
+	// MatchTokens is how many leading continuation tokens an SSM must
+	// reproduce for the sample to count as "covered" and be filtered out
+	// before tuning the next SSM.
+	MatchTokens int
+	// Seed drives the (deterministic) generation randomness.
+	Seed uint64
+}
+
+func (c BoostConfig) withDefaults() BoostConfig {
+	if c.ContTokens == 0 {
+		c.ContTokens = 8
+	}
+	if c.MatchTokens == 0 {
+		c.MatchTokens = 2
+	}
+	return c
+}
+
+// Generate runs a model autoregressively for n tokens from the prompt
+// under the given policy. It is exported because examples and benchmarks
+// need plain incremental generation as the baseline.
+func Generate(m model.Model, prompt []model.Token, n int, policy sampling.Config, rng *tensor.RNG) []model.Token {
+	sess := m.NewSession()
+	d := sess.Prefill(prompt)
+	out := make([]model.Token, 0, n)
+	for i := 0; i < n; i++ {
+		tok := policy.Sample(rng, d)
+		out = append(out, tok)
+		d = sess.Decode(tok)
+	}
+	return out
+}
+
+// GenerateBeam returns the most probable n-token continuation of prompt
+// found by beam search of the given width, together with its total log
+// probability. Beam search is one of the multi-sample decoding strategies
+// §7 notes SpecInfer supports; it operates directly on the model's output
+// distributions and composes with (rather than replaces) speculative
+// verification.
+func GenerateBeam(m model.Model, prompt []model.Token, n, beamWidth int) ([]model.Token, float64) {
+	if n < 1 || beamWidth < 1 {
+		panic("speculator: GenerateBeam needs n >= 1 and beamWidth >= 1")
+	}
+	type beam struct {
+		toks []model.Token
+		logp float64
+	}
+	beams := []beam{{}}
+	for step := 0; step < n; step++ {
+		var next []beam
+		for _, b := range beams {
+			sess := m.NewSession()
+			d := sess.Prefill(append(append([]model.Token{}, prompt...), b.toks...))
+			for _, tok := range tensor.TopK(d, beamWidth) {
+				if d[tok] <= 0 {
+					continue
+				}
+				next = append(next, beam{
+					toks: append(append([]model.Token{}, b.toks...), tok),
+					logp: b.logp + math.Log(float64(d[tok])),
+				})
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].logp > next[j].logp })
+		if len(next) > beamWidth {
+			next = next[:beamWidth]
+		}
+		beams = next
+	}
+	return beams[0].toks, beams[0].logp
+}
+
+// BoostTune implements the paper's unsupervised collective boost-tuning:
+// the LLM labels each prompt sample with its own continuation; SSMs are
+// fine-tuned one at a time "to the fullest" on the not-yet-covered
+// samples; samples an SSM now reproduces are marked and filtered before
+// the next SSM is tuned. The result is a diverse pool whose aggregated
+// output covers more of the LLM's output than any single SSM (adaptive
+// boosting over the sample space, [Freund & Schapire]).
+//
+// Returns the number of samples covered after each SSM's round, which is
+// also the natural diagnostic the ablation bench reports.
+func BoostTune(llm model.Model, ssms []Trainable, prompts [][]model.Token, cfg BoostConfig) []int {
+	cfg = cfg.withDefaults()
+	rng := tensor.NewRNG(cfg.Seed)
+	greedy := sampling.GreedyConfig()
+
+	// The LLM's targets, generated once.
+	targets := make([][]model.Token, len(prompts))
+	for i, p := range prompts {
+		targets[i] = Generate(llm, p, cfg.ContTokens, greedy, rng)
+	}
+
+	remaining := make([]int, len(prompts))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	coveredAfter := make([]int, 0, len(ssms))
+	totalCovered := 0
+
+	for _, ssm := range ssms {
+		// Fine-tune to the fullest on every remaining sample: fit the
+		// prompt+target sequences (weight 1 each, repeated fitting is a
+		// no-op for count models beyond the counts themselves).
+		for _, i := range remaining {
+			seq := append(append([]model.Token{}, prompts[i]...), targets[i]...)
+			ssm.Train(seq, 1)
+		}
+		// Mark samples the tuned SSM now covers.
+		var still []int
+		for _, i := range remaining {
+			got := Generate(ssm, prompts[i], cfg.MatchTokens, greedy, rng)
+			match := true
+			for j := 0; j < cfg.MatchTokens; j++ {
+				if got[j] != targets[i][j] {
+					match = false
+					break
+				}
+			}
+			if match {
+				totalCovered++
+			} else {
+				still = append(still, i)
+			}
+		}
+		remaining = still
+		coveredAfter = append(coveredAfter, totalCovered)
+	}
+	return coveredAfter
+}

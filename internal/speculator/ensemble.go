@@ -1,0 +1,72 @@
+package speculator
+
+import (
+	"specinfer/internal/model"
+	"specinfer/internal/sampling"
+	"specinfer/internal/tree"
+)
+
+// Ensemble combination methods beyond boosting — §3 of the paper notes
+// that "voting, bagging, and stacking ... can be used to combine the
+// outputs from multiple SSMs" and leaves them as future work. This file
+// provides the voting combiner: the SSM pool's trees are merged as usual,
+// then pruned to a node budget ranked by agreement (how many SSMs
+// proposed a node) with SSM probability as the tiebreaker. Agreement is a
+// cheap proxy for LLM-alignment: a token several independently trained
+// SSMs propose is likelier to be the LLM's choice than a single model's
+// idiosyncratic guess.
+
+// VotingConfig parameterizes a voting speculator.
+type VotingConfig struct {
+	// Expansion is the per-SSM expansion configuration.
+	Expansion tree.ExpansionConfig
+	// Budget caps the merged tree's speculated nodes after vote pruning;
+	// 0 keeps everything (plain merge).
+	Budget int
+	// Sample is the request's decode policy.
+	Sample sampling.Config
+	// Seed drives SampleK expansion.
+	Seed uint64
+}
+
+// VotingSpeculator merges the pool's trees and prunes by votes.
+type VotingSpeculator struct {
+	inner *Speculator
+	cfg   VotingConfig
+}
+
+// NewVoting builds a voting speculator over the SSM pool.
+func NewVoting(cfg VotingConfig, ssms ...model.Model) *VotingSpeculator {
+	inner := New(Config{
+		Expansion: cfg.Expansion,
+		Sample:    cfg.Sample,
+		Seed:      cfg.Seed,
+	}, ssms...)
+	return &VotingSpeculator{inner: inner, cfg: cfg}
+}
+
+// Prefill feeds the prompt to every SSM session.
+func (v *VotingSpeculator) Prefill(prompt []model.Token) { v.inner.Prefill(prompt) }
+
+// Accept commits verified tokens into every SSM session.
+func (v *VotingSpeculator) Accept(tokens []model.Token) { v.inner.Accept(tokens) }
+
+// Speculate merges per-SSM trees and vote-prunes to the budget.
+func (v *VotingSpeculator) Speculate(rootTok model.Token) *tree.Tree {
+	merged := v.inner.Speculate(rootTok)
+	if v.cfg.Budget <= 0 || merged.NumSpeculated() <= v.cfg.Budget {
+		return merged
+	}
+	return merged.PruneToBudget(v.cfg.Budget, func(id tree.NodeID) float64 {
+		n := merged.Node(id)
+		// Distinct proposing SSMs dominate; mean proposal probability
+		// breaks ties.
+		ssms := map[int]bool{}
+		var sum float64
+		for _, p := range n.Proposals {
+			ssms[p.SSMID] = true
+			sum += float64(p.Prob)
+		}
+		return float64(len(ssms)) + sum/float64(len(n.Proposals))
+	})
+}

@@ -1,0 +1,105 @@
+package tensor
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xoshiro256** derivative) used for weight initialization and sampling.
+// It is reproducible across platforms, unlike math/rand's global state,
+// and needs no locking because every consumer owns its instance.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from a single 64-bit seed using
+// splitmix64 to fill the state, as recommended by the xoshiro authors.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	x := seed
+	for i := 0; i < 4; i++ {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). Panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: RNG.Intn non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal variate via Box-Muller. The spare
+// value is intentionally discarded to keep the generator stateless beyond
+// its 256-bit core, which keeps Split-ed streams independent.
+func (r *RNG) NormFloat64() float64 {
+	for {
+		u1 := r.Float64()
+		if u1 == 0 {
+			continue
+		}
+		u2 := r.Float64()
+		return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+}
+
+// Split returns a new generator deterministically derived from this one,
+// so subsystems can own independent streams from one master seed.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64())
+}
+
+// FillNormal fills dst with N(0, std^2) variates.
+func (r *RNG) FillNormal(dst []float32, std float64) {
+	for i := range dst {
+		dst[i] = float32(r.NormFloat64() * std)
+	}
+}
+
+// SampleCategorical draws an index from the distribution given by
+// nonnegative weights p (not necessarily normalized). Returns the last
+// index with positive mass as a guard against floating-point shortfall.
+func (r *RNG) SampleCategorical(p []float32) int {
+	total := Sum(p)
+	if total <= 0 {
+		return r.Intn(len(p))
+	}
+	u := r.Float64() * total
+	var acc float64
+	last := 0
+	for i, w := range p {
+		if w <= 0 {
+			continue
+		}
+		acc += float64(w)
+		last = i
+		if u < acc {
+			return i
+		}
+	}
+	return last
+}

@@ -1,0 +1,404 @@
+// Package tensor provides the small set of dense float32 linear-algebra
+// kernels needed by the pure-Go transformer substrate: matrix-vector and
+// matrix-matrix products, softmax, RMS normalization, rotary position
+// embeddings, and top-k selection.
+//
+// The package is deliberately minimal: everything is row-major []float32
+// with explicit dimensions, no reflection, no interface dispatch in inner
+// loops. Matmul parallelizes across rows with goroutines when the work is
+// large enough to amortize scheduling.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32 // len == Rows*Cols
+}
+
+// NewMatrix allocates a zeroed Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid dims %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// Row returns the i-th row as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float32 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Axpy computes dst += alpha*x.
+func Axpy(alpha float32, x, dst []float32) {
+	if len(x) != len(dst) {
+		panic("tensor: Axpy length mismatch")
+	}
+	for i := range x {
+		dst[i] += alpha * x[i]
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float32, x []float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Add computes dst[i] += x[i].
+func Add(dst, x []float32) {
+	if len(x) != len(dst) {
+		panic("tensor: Add length mismatch")
+	}
+	for i := range x {
+		dst[i] += x[i]
+	}
+}
+
+// MatVec computes out = W*x where W is (out x in), x has length in.
+// out must have length W.Rows.
+func MatVec(w *Matrix, x, out []float32) {
+	if len(x) != w.Cols {
+		panic(fmt.Sprintf("tensor: MatVec x len %d != cols %d", len(x), w.Cols))
+	}
+	if len(out) != w.Rows {
+		panic(fmt.Sprintf("tensor: MatVec out len %d != rows %d", len(out), w.Rows))
+	}
+	for i := 0; i < w.Rows; i++ {
+		out[i] = Dot(w.Row(i), x)
+	}
+}
+
+// parallelThreshold is the minimum number of scalar multiply-adds below
+// which MatMul stays single-threaded.
+const parallelThreshold = 1 << 16
+
+// MatMul computes out = X * W^T where X is (n x in) holding n row vectors
+// and W is (out x in); the result is (n x out). This is the layout used by
+// the transformer: each weight matrix stores output rows, so a batch of
+// activations multiplies against the transpose.
+func MatMul(x *Matrix, w *Matrix, out *Matrix) {
+	if x.Cols != w.Cols {
+		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %d vs %d", x.Cols, w.Cols))
+	}
+	if out.Rows != x.Rows || out.Cols != w.Rows {
+		panic("tensor: MatMul out dims mismatch")
+	}
+	work := x.Rows * w.Rows * w.Cols
+	if work < parallelThreshold || x.Rows == 1 {
+		for i := 0; i < x.Rows; i++ {
+			xr := x.Row(i)
+			or := out.Row(i)
+			for j := 0; j < w.Rows; j++ {
+				or[j] = Dot(w.Row(j), xr)
+			}
+		}
+		return
+	}
+	nw := runtime.GOMAXPROCS(0)
+	if nw > x.Rows {
+		nw = x.Rows
+	}
+	var wg sync.WaitGroup
+	chunk := (x.Rows + nw - 1) / nw
+	for s := 0; s < x.Rows; s += chunk {
+		e := s + chunk
+		if e > x.Rows {
+			e = x.Rows
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			for i := s; i < e; i++ {
+				xr := x.Row(i)
+				or := out.Row(i)
+				for j := 0; j < w.Rows; j++ {
+					or[j] = Dot(w.Row(j), xr)
+				}
+			}
+		}(s, e)
+	}
+	wg.Wait()
+}
+
+// Softmax computes the softmax of x in place using the max-subtraction
+// trick for numerical stability. Entries equal to NegInf map to exactly 0.
+func Softmax(x []float32) {
+	if len(x) == 0 {
+		return
+	}
+	maxv := x[0]
+	for _, v := range x[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	if math.IsInf(float64(maxv), -1) {
+		// All entries masked: define softmax as uniform to avoid NaN.
+		u := float32(1.0) / float32(len(x))
+		for i := range x {
+			x[i] = u
+		}
+		return
+	}
+	var sum float64
+	for i, v := range x {
+		e := math.Exp(float64(v - maxv))
+		x[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1.0 / sum)
+	for i := range x {
+		x[i] *= inv
+	}
+}
+
+// LogSoftmax computes log(softmax(x)) in place.
+func LogSoftmax(x []float32) {
+	if len(x) == 0 {
+		return
+	}
+	maxv := x[0]
+	for _, v := range x[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for _, v := range x {
+		sum += math.Exp(float64(v - maxv))
+	}
+	lse := float32(math.Log(sum)) + maxv
+	for i := range x {
+		x[i] -= lse
+	}
+}
+
+// NegInf is the mask value used to zero out attention scores.
+var NegInf = float32(math.Inf(-1))
+
+// RMSNorm computes out[i] = x[i] / rms(x) * gain[i], the normalization used
+// by LLaMA-style transformers. x and out may alias.
+func RMSNorm(x, gain, out []float32, eps float32) {
+	if len(x) != len(gain) || len(x) != len(out) {
+		panic("tensor: RMSNorm length mismatch")
+	}
+	var ss float64
+	for _, v := range x {
+		ss += float64(v) * float64(v)
+	}
+	inv := float32(1.0 / math.Sqrt(ss/float64(len(x))+float64(eps)))
+	for i := range x {
+		out[i] = x[i] * inv * gain[i]
+	}
+}
+
+// SiLU applies the sigmoid-weighted linear unit x*sigmoid(x) in place.
+func SiLU(x []float32) {
+	for i, v := range x {
+		x[i] = v / (1 + float32(math.Exp(float64(-v))))
+	}
+}
+
+// ReLU applies max(0, x) in place (the activation of the OPT family).
+func ReLU(x []float32) {
+	for i, v := range x {
+		if v < 0 {
+			x[i] = 0
+		}
+	}
+}
+
+// LayerNorm computes out[i] = (x[i]-mean)/sqrt(var+eps)*gain[i] + bias[i],
+// the normalization used by GPT/OPT-style transformers. x and out may
+// alias.
+func LayerNorm(x, gain, bias, out []float32, eps float32) {
+	if len(x) != len(gain) || len(x) != len(bias) || len(x) != len(out) {
+		panic("tensor: LayerNorm length mismatch")
+	}
+	var mean float64
+	for _, v := range x {
+		mean += float64(v)
+	}
+	mean /= float64(len(x))
+	var variance float64
+	for _, v := range x {
+		d := float64(v) - mean
+		variance += d * d
+	}
+	variance /= float64(len(x))
+	inv := float32(1.0 / math.Sqrt(variance+float64(eps)))
+	for i := range x {
+		out[i] = (x[i]-float32(mean))*inv*gain[i] + bias[i]
+	}
+}
+
+// Rope applies rotary position embeddings to vec (length must be even)
+// for absolute position pos, rotating consecutive pairs. theta is the
+// base frequency (10000 in LLaMA).
+func Rope(vec []float32, pos int, theta float64) {
+	d := len(vec)
+	if d%2 != 0 {
+		panic("tensor: Rope requires even dimension")
+	}
+	for i := 0; i < d; i += 2 {
+		freq := math.Pow(theta, -float64(i)/float64(d))
+		angle := float64(pos) * freq
+		sin, cos := math.Sincos(angle)
+		a, b := float64(vec[i]), float64(vec[i+1])
+		vec[i] = float32(a*cos - b*sin)
+		vec[i+1] = float32(a*sin + b*cos)
+	}
+}
+
+// ArgMax returns the index of the maximum element (first on ties) and its
+// value. Panics on empty input.
+func ArgMax(x []float32) (int, float32) {
+	if len(x) == 0 {
+		panic("tensor: ArgMax of empty slice")
+	}
+	bi, bv := 0, x[0]
+	for i, v := range x[1:] {
+		if v > bv {
+			bi, bv = i+1, v
+		}
+	}
+	return bi, bv
+}
+
+// TopK returns the indices of the k largest elements of x in descending
+// order of value (ties broken by lower index first). k is clamped to
+// len(x). Runs in O(n*k), fine for the small k used in speculation.
+func TopK(x []float32, k int) []int {
+	if k > len(x) {
+		k = len(x)
+	}
+	if k <= 0 {
+		return nil
+	}
+	idx := make([]int, 0, k)
+	taken := make([]bool, len(x))
+	for n := 0; n < k; n++ {
+		bi := -1
+		var bv float32
+		for i, v := range x {
+			if taken[i] {
+				continue
+			}
+			if bi == -1 || v > bv {
+				bi, bv = i, v
+			}
+		}
+		taken[bi] = true
+		idx = append(idx, bi)
+	}
+	return idx
+}
+
+// MatVecT computes out = W^T * y where W is (rows x cols) and y has
+// length rows; out has length cols. This is the input-gradient of a
+// MatVec during backpropagation.
+func MatVecT(w *Matrix, y, out []float32) {
+	if len(y) != w.Rows {
+		panic(fmt.Sprintf("tensor: MatVecT y len %d != rows %d", len(y), w.Rows))
+	}
+	if len(out) != w.Cols {
+		panic(fmt.Sprintf("tensor: MatVecT out len %d != cols %d", len(out), w.Cols))
+	}
+	for c := range out {
+		out[c] = 0
+	}
+	for r := 0; r < w.Rows; r++ {
+		yr := y[r]
+		if yr == 0 {
+			continue
+		}
+		row := w.Row(r)
+		for c := range row {
+			out[c] += yr * row[c]
+		}
+	}
+}
+
+// OuterAcc accumulates the outer product dW += y * x^T, the weight
+// gradient of y = W*x during backpropagation. dW is (len(y) x len(x)).
+func OuterAcc(y, x []float32, dw *Matrix) {
+	if dw.Rows != len(y) || dw.Cols != len(x) {
+		panic("tensor: OuterAcc dims mismatch")
+	}
+	for r := range y {
+		yr := y[r]
+		if yr == 0 {
+			continue
+		}
+		row := dw.Row(r)
+		for c := range x {
+			row[c] += yr * x[c]
+		}
+	}
+}
+
+// RopeInverse applies the inverse rotary embedding (rotation by -pos),
+// which is the gradient mapping of Rope during backpropagation (rotations
+// are orthogonal).
+func RopeInverse(vec []float32, pos int, theta float64) {
+	Rope(vec, -pos, theta)
+}
+
+// Sum returns the sum of the elements of x in float64 precision.
+func Sum(x []float32) float64 {
+	var s float64
+	for _, v := range x {
+		s += float64(v)
+	}
+	return s
+}
+
+// Normalize scales a nonnegative vector so it sums to 1. If the sum is
+// zero it sets the uniform distribution.
+func Normalize(x []float32) {
+	s := Sum(x)
+	if s <= 0 {
+		u := float32(1.0) / float32(len(x))
+		for i := range x {
+			x[i] = u
+		}
+		return
+	}
+	inv := float32(1.0 / s)
+	for i := range x {
+		x[i] *= inv
+	}
+}

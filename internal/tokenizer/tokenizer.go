@@ -1,0 +1,89 @@
+// Package tokenizer renders the synthetic language's token ids as
+// deterministic pronounceable pseudo-words and parses them back, so the
+// example programs and the CLI can print generations a human can scan for
+// repetition and structure instead of raw integers.
+package tokenizer
+
+import (
+	"fmt"
+	"strings"
+
+	"specinfer/internal/tensor"
+)
+
+// Tokenizer is a bijection between token ids [0, vocab) and words.
+type Tokenizer struct {
+	vocab int
+	words []string
+	ids   map[string]int
+}
+
+var onsets = []string{"b", "d", "f", "g", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "ch", "st", "br", "gl"}
+var nuclei = []string{"a", "e", "i", "o", "u", "ai", "ou", "ea"}
+var codas = []string{"", "n", "r", "s", "l", "k", "m", "t"}
+
+// New builds a tokenizer for the given vocabulary size. Words are drawn
+// deterministically from seed so every run (and every reader of the
+// examples' output) sees the same language.
+func New(vocab int, seed uint64) *Tokenizer {
+	if vocab < 1 {
+		panic("tokenizer: vocab must be positive")
+	}
+	rng := tensor.NewRNG(seed)
+	t := &Tokenizer{vocab: vocab, words: make([]string, vocab), ids: make(map[string]int, vocab)}
+	for i := 0; i < vocab; i++ {
+		for {
+			var b strings.Builder
+			syllables := 1 + rng.Intn(2)
+			for s := 0; s < syllables; s++ {
+				b.WriteString(onsets[rng.Intn(len(onsets))])
+				b.WriteString(nuclei[rng.Intn(len(nuclei))])
+				if s == syllables-1 {
+					b.WriteString(codas[rng.Intn(len(codas))])
+				}
+			}
+			w := b.String()
+			if _, dup := t.ids[w]; !dup {
+				t.words[i] = w
+				t.ids[w] = i
+				break
+			}
+		}
+	}
+	return t
+}
+
+// VocabSize returns the vocabulary size.
+func (t *Tokenizer) VocabSize() int { return t.vocab }
+
+// Word returns the word of a token id.
+func (t *Tokenizer) Word(id int) string {
+	if id < 0 || id >= t.vocab {
+		panic(fmt.Sprintf("tokenizer: id %d out of vocab %d", id, t.vocab))
+	}
+	return t.words[id]
+}
+
+// Decode renders token ids as a space-separated string.
+func (t *Tokenizer) Decode(ids []int) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = t.Word(id)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Encode parses a space-separated string back into token ids. Unknown
+// words yield an error.
+func (t *Tokenizer) Encode(text string) ([]int, error) {
+	fields := strings.Fields(text)
+	ids := make([]int, 0, len(fields))
+	for _, f := range fields {
+		id, ok := t.ids[strings.ToLower(f)]
+		if !ok {
+			return nil, fmt.Errorf("tokenizer: unknown word %q", f)
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}

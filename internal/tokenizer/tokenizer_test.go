@@ -1,0 +1,84 @@
+package tokenizer
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"specinfer/internal/tensor"
+)
+
+func TestRoundTrip(t *testing.T) {
+	tok := New(192, 1)
+	f := func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		ids := make([]int, 12)
+		for i := range ids {
+			ids[i] = rng.Intn(192)
+		}
+		text := tok.Decode(ids)
+		back, err := tok.Encode(text)
+		if err != nil || len(back) != len(ids) {
+			return false
+		}
+		for i := range ids {
+			if back[i] != ids[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWordsUniqueAndDeterministic(t *testing.T) {
+	a := New(256, 7)
+	b := New(256, 7)
+	seen := map[string]bool{}
+	for i := 0; i < 256; i++ {
+		w := a.Word(i)
+		if seen[w] {
+			t.Fatalf("duplicate word %q", w)
+		}
+		seen[w] = true
+		if w != b.Word(i) {
+			t.Fatal("tokenizer not deterministic")
+		}
+		if w == "" || strings.ContainsAny(w, " \t\n") {
+			t.Fatalf("malformed word %q", w)
+		}
+	}
+	c := New(256, 8)
+	diff := false
+	for i := 0; i < 256; i++ {
+		if a.Word(i) != c.Word(i) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds should give different vocabularies")
+	}
+}
+
+func TestEncodeUnknown(t *testing.T) {
+	tok := New(16, 1)
+	if _, err := tok.Encode("xyzzyplugh"); err == nil {
+		t.Fatal("unknown word must error")
+	}
+}
+
+func TestVocabBounds(t *testing.T) {
+	tok := New(4, 1)
+	if tok.VocabSize() != 4 {
+		t.Fatal("vocab size wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range id must panic")
+		}
+	}()
+	tok.Word(4)
+}

@@ -1,0 +1,498 @@
+// Package transformer implements a pure-Go decoder-only transformer
+// (LLaMA-style: RMSNorm, rotary position embeddings, SwiGLU MLP) that
+// serves as the runnable substrate for SpecInfer's token tree verifier.
+//
+// It implements model.Model with three decoding paths:
+//
+//   - ordinary incremental decoding with a per-session KV cache,
+//   - prefill (batch processing of the prompt), and
+//   - tree-based parallel decoding (§4.2 of the paper): all nodes of a
+//     speculated token tree are scored in ONE pass over the weights using
+//     a depth-first cache layout and a topology-aware causal mask, and the
+//     K/V rows computed for accepted nodes are reused when the verified
+//     path is committed (Accept), exactly as SpecInfer reuses the shared
+//     KV cache across branches.
+//
+// The weights are deterministic functions of a seed, so tests are
+// reproducible; the model is small but real — the equivalence between
+// tree-parallel decoding and sequence-at-a-time decoding is established on
+// genuine attention computations, not mocks.
+package transformer
+
+import (
+	"fmt"
+	"math"
+
+	"specinfer/internal/model"
+	"specinfer/internal/tensor"
+	"specinfer/internal/tree"
+)
+
+// Arch selects the transformer family.
+type Arch int
+
+const (
+	// ArchLLaMA: RMSNorm, rotary position embeddings, SwiGLU MLP.
+	ArchLLaMA Arch = iota
+	// ArchOPT: LayerNorm (with bias), learned absolute position
+	// embeddings, ReLU MLP — the OPT family the paper also serves.
+	ArchOPT
+)
+
+func (a Arch) String() string {
+	if a == ArchOPT {
+		return "opt"
+	}
+	return "llama"
+}
+
+// Config describes a transformer geometry for the runnable substrate.
+type Config struct {
+	Name      string
+	Arch      Arch // zero value is ArchLLaMA
+	Vocab     int
+	Hidden    int
+	Heads     int
+	FFN       int
+	Layers    int
+	RopeTheta float64 // 0 means 10000 (ArchLLaMA)
+	MaxSeq    int     // learned-position capacity; 0 means 1024 (ArchOPT)
+	Seed      uint64  // weight-initialization seed
+}
+
+func (c Config) headDim() int { return c.Hidden / c.Heads }
+
+// Validate panics with a descriptive message on an unusable config.
+func (c Config) validate() {
+	switch {
+	case c.Vocab < 2:
+		panic("transformer: vocab must be >= 2")
+	case c.Hidden <= 0 || c.Heads <= 0 || c.FFN <= 0 || c.Layers <= 0:
+		panic("transformer: dims must be positive")
+	case c.Hidden%c.Heads != 0:
+		panic(fmt.Sprintf("transformer: hidden %d not divisible by heads %d", c.Hidden, c.Heads))
+	case c.headDim()%2 != 0:
+		panic("transformer: head dim must be even for RoPE")
+	}
+}
+
+type layerWeights struct {
+	attnNorm     []float32
+	attnNormBias []float32      // ArchOPT only
+	wq, wk       *tensor.Matrix // (hidden x hidden)
+	wv, wo       *tensor.Matrix
+	mlpNorm      []float32
+	mlpNormBias  []float32      // ArchOPT only
+	wGate        *tensor.Matrix // (ffn x hidden); nil for ArchOPT
+	wUp          *tensor.Matrix // (ffn x hidden)
+	wDown        *tensor.Matrix // (hidden x ffn)
+}
+
+// Model is a seeded random-weight transformer implementing model.Model.
+type Model struct {
+	cfg           Config
+	embed         *tensor.Matrix // (vocab x hidden)
+	posEmbed      *tensor.Matrix // (maxSeq x hidden); ArchOPT only
+	layers        []layerWeights
+	finalNorm     []float32
+	finalNormBias []float32      // ArchOPT only
+	lmHead        *tensor.Matrix // (vocab x hidden)
+	ropeTheta     float64
+}
+
+var _ model.Model = (*Model)(nil)
+
+// New builds a transformer with weights drawn deterministically from
+// cfg.Seed.
+func New(cfg Config) *Model {
+	cfg.validate()
+	rng := tensor.NewRNG(cfg.Seed)
+	theta := cfg.RopeTheta
+	if theta == 0 {
+		theta = 10000
+	}
+	if cfg.MaxSeq == 0 {
+		cfg.MaxSeq = 1024
+	}
+	m := &Model{cfg: cfg, ropeTheta: theta}
+	std := 0.08 // large enough that tiny models produce peaked, varied logits
+	initMat := func(rows, cols int) *tensor.Matrix {
+		w := tensor.NewMatrix(rows, cols)
+		rng.FillNormal(w.Data, std/math.Sqrt(float64(cols)/64.0+1))
+		return w
+	}
+	m.embed = tensor.NewMatrix(cfg.Vocab, cfg.Hidden)
+	rng.FillNormal(m.embed.Data, 0.5)
+	m.lmHead = initMat(cfg.Vocab, cfg.Hidden)
+	m.finalNorm = ones(cfg.Hidden)
+	if cfg.Arch == ArchOPT {
+		m.posEmbed = tensor.NewMatrix(cfg.MaxSeq, cfg.Hidden)
+		rng.FillNormal(m.posEmbed.Data, 0.1)
+		m.finalNormBias = make([]float32, cfg.Hidden)
+	}
+	m.layers = make([]layerWeights, cfg.Layers)
+	for l := range m.layers {
+		lw := layerWeights{
+			attnNorm: ones(cfg.Hidden),
+			wq:       initMat(cfg.Hidden, cfg.Hidden),
+			wk:       initMat(cfg.Hidden, cfg.Hidden),
+			wv:       initMat(cfg.Hidden, cfg.Hidden),
+			wo:       initMat(cfg.Hidden, cfg.Hidden),
+			mlpNorm:  ones(cfg.Hidden),
+			wUp:      initMat(cfg.FFN, cfg.Hidden),
+			wDown:    initMat(cfg.Hidden, cfg.FFN),
+		}
+		if cfg.Arch == ArchOPT {
+			lw.attnNormBias = make([]float32, cfg.Hidden)
+			lw.mlpNormBias = make([]float32, cfg.Hidden)
+		} else {
+			lw.wGate = initMat(cfg.FFN, cfg.Hidden)
+		}
+		m.layers[l] = lw
+	}
+	return m
+}
+
+// norm applies the architecture's normalization (RMSNorm for LLaMA,
+// LayerNorm with bias for OPT).
+func (m *Model) norm(x, gain, bias, out []float32) {
+	if m.cfg.Arch == ArchOPT {
+		tensor.LayerNorm(x, gain, bias, out, 1e-5)
+		return
+	}
+	tensor.RMSNorm(x, gain, out, 1e-5)
+}
+
+func ones(n int) []float32 {
+	v := make([]float32, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// Name implements model.Model.
+func (m *Model) Name() string { return m.cfg.Name }
+
+// VocabSize implements model.Model.
+func (m *Model) VocabSize() int { return m.cfg.Vocab }
+
+// Config returns the model geometry.
+func (m *Model) Config() Config { return m.cfg }
+
+// NewSession implements model.Model.
+func (m *Model) NewSession() model.Session {
+	s := &Session{m: m}
+	s.cacheK = make([][][]float32, m.cfg.Layers)
+	s.cacheV = make([][][]float32, m.cfg.Layers)
+	return s
+}
+
+// Session is the per-request state: a grown-on-demand KV cache per layer
+// plus the scratch K/V from the last tree-parallel decode, kept so Accept
+// can commit verified rows without recomputation.
+type Session struct {
+	m        *Model
+	cacheK   [][][]float32 // [layer][pos][hidden]
+	cacheV   [][][]float32
+	n        int       // committed tokens
+	lastDist []float32 // distribution after the last committed token
+
+	// Tree-decode scratch: K/V rows per speculated node (lin index >= 1)
+	// and the per-node output distributions, retained for Accept.
+	lastTree  *tree.Tree
+	treeK     [][][]float32 // [layer][linIdx-1][hidden]
+	treeV     [][][]float32
+	treeDists [][]float32 // indexed by node id
+	// treeLinIdx maps node id -> linearization index for the last tree,
+	// so Accept can find each accepted node's scratch K/V row.
+	treeLinIdx []int
+}
+
+var _ model.Session = (*Session)(nil)
+
+// Len implements model.Session.
+func (s *Session) Len() int { return s.n }
+
+// Prefill implements model.Session.
+func (s *Session) Prefill(prompt []model.Token) []float32 {
+	if s.n != 0 {
+		panic("transformer: Prefill on non-empty session")
+	}
+	if len(prompt) == 0 {
+		panic("transformer: empty prompt")
+	}
+	positions := make([]int, len(prompt))
+	for i := range positions {
+		positions[i] = i
+	}
+	dists, k, v := s.forward(prompt, positions, nil, true)
+	s.commitRows(k, v)
+	s.n = len(prompt)
+	s.invalidateTree()
+	s.lastDist = dists[len(dists)-1]
+	return cloneVec(s.lastDist)
+}
+
+// Decode implements model.Session.
+func (s *Session) Decode(tok model.Token) []float32 {
+	if s.n == 0 {
+		panic("transformer: Decode before Prefill")
+	}
+	dists, k, v := s.forward([]model.Token{tok}, []int{s.n}, nil, true)
+	s.commitRows(k, v)
+	s.n++
+	s.invalidateTree()
+	s.lastDist = dists[0]
+	return cloneVec(s.lastDist)
+}
+
+// DecodeTree implements model.Session: tree-based parallel decoding. All
+// speculated nodes are processed in a single forward pass; the root's
+// distribution is the one already produced when its token was committed.
+func (s *Session) DecodeTree(t *tree.Tree) [][]float32 {
+	if s.n == 0 {
+		panic("transformer: DecodeTree before Prefill")
+	}
+	if s.lastDist == nil {
+		panic("transformer: no distribution for tree root")
+	}
+	out := make([][]float32, t.Len())
+	out[t.Root()] = cloneVec(s.lastDist)
+	if t.Len() == 1 {
+		s.invalidateTree()
+		return out
+	}
+	lin := t.Linearize()
+	nSpec := len(lin.Order) - 1
+	tokens := make([]model.Token, nSpec)
+	positions := make([]int, nSpec)
+	for i := 1; i < len(lin.Order); i++ {
+		tokens[i-1] = lin.Tokens[i]
+		// The root occupies committed position n-1; a node at depth d sits
+		// at absolute position n-1+d, exactly where it would land if its
+		// branch were committed.
+		positions[i-1] = s.n - 1 + lin.Depths[i]
+	}
+	// Topology-aware mask among the new tokens: new token i (lin index
+	// i+1) may attend new token j (lin index j+1) iff j+1 is an
+	// ancestor-or-self of i+1. Every new token attends the whole
+	// committed cache (all committed tokens are ancestors).
+	mask := func(i, j int) bool { return lin.Mask[i+1][j+1] }
+	dists, k, v := s.forward(tokens, positions, mask, true)
+	for i := 1; i < len(lin.Order); i++ {
+		out[lin.Order[i]] = dists[i-1]
+	}
+	// Retain scratch for Accept.
+	s.lastTree = t
+	s.treeK, s.treeV = k, v
+	s.treeDists = make([][]float32, t.Len())
+	s.treeDists[t.Root()] = out[t.Root()]
+	for i := 1; i < len(lin.Order); i++ {
+		s.treeDists[lin.Order[i]] = out[lin.Order[i]]
+	}
+	// Record lin index per node for row lookup in Accept.
+	s.treeLinIdx = make([]int, t.Len())
+	for i, id := range lin.Order {
+		s.treeLinIdx[id] = i
+	}
+	return cloneDists(out)
+}
+
+// Accept implements model.Session: commits verified tokens. Tokens that
+// follow a path of the last speculated tree reuse the K/V rows computed by
+// DecodeTree; any remaining tokens (e.g. the bonus token sampled from the
+// LLM on speculation miss) are decoded normally.
+func (s *Session) Accept(tokens []model.Token) []float32 {
+	i := 0
+	if s.lastTree != nil {
+		u := s.lastTree.Root()
+		for i < len(tokens) {
+			v := s.lastTree.ChildWithToken(u, tokens[i])
+			// Trees are append-only, so any node appended to lastTree
+			// AFTER our DecodeTree call has an id beyond the scratch we
+			// cached (the speculator keeps expanding the tree it scored);
+			// such nodes must be recomputed, not served from scratch.
+			if v == -1 || v >= len(s.treeLinIdx) {
+				break
+			}
+			li := s.treeLinIdx[v]
+			for l := 0; l < s.m.cfg.Layers; l++ {
+				s.cacheK[l] = append(s.cacheK[l], s.treeK[l][li-1])
+				s.cacheV[l] = append(s.cacheV[l], s.treeV[l][li-1])
+			}
+			s.n++
+			s.lastDist = s.treeDists[v]
+			u = v
+			i++
+		}
+	}
+	s.invalidateTree()
+	for ; i < len(tokens); i++ {
+		s.Decode(tokens[i])
+	}
+	if s.lastDist == nil {
+		panic("transformer: Accept produced no distribution")
+	}
+	return cloneVec(s.lastDist)
+}
+
+func (s *Session) invalidateTree() {
+	s.lastTree = nil
+	s.treeK, s.treeV = nil, nil
+	s.treeDists = nil
+	s.treeLinIdx = nil
+}
+
+func (s *Session) commitRows(k, v [][][]float32) {
+	for l := 0; l < s.m.cfg.Layers; l++ {
+		s.cacheK[l] = append(s.cacheK[l], k[l]...)
+		s.cacheV[l] = append(s.cacheV[l], v[l]...)
+	}
+}
+
+// forward runs the transformer over a batch of new tokens at the given
+// absolute positions. mask(i, j) reports whether new token i may attend
+// new token j; nil means ordinary causality among the new tokens (j <= i).
+// attendCache controls whether new tokens see the committed KV cache.
+// It returns the per-token next-token distributions plus the K/V rows of
+// the new tokens per layer (not committed).
+func (s *Session) forward(tokens []model.Token, positions []int, mask func(i, j int) bool, attendCache bool) (dists [][]float32, newK, newV [][][]float32) {
+	cfg := s.m.cfg
+	nNew := len(tokens)
+	hd := cfg.headDim()
+	scale := float32(1.0 / math.Sqrt(float64(hd)))
+	if mask == nil {
+		mask = func(i, j int) bool { return j <= i }
+	}
+
+	// Activations per new token.
+	x := make([][]float32, nNew)
+	for i, tok := range tokens {
+		if tok < 0 || tok >= cfg.Vocab {
+			panic(fmt.Sprintf("transformer: token %d out of vocab %d", tok, cfg.Vocab))
+		}
+		x[i] = cloneVec(s.m.embed.Row(tok))
+		if cfg.Arch == ArchOPT {
+			if positions[i] >= cfg.MaxSeq {
+				panic(fmt.Sprintf("transformer: position %d exceeds MaxSeq %d", positions[i], cfg.MaxSeq))
+			}
+			tensor.Add(x[i], s.m.posEmbed.Row(positions[i]))
+		}
+	}
+
+	newK = make([][][]float32, cfg.Layers)
+	newV = make([][][]float32, cfg.Layers)
+	h1 := make([]float32, cfg.Hidden)
+	q := make([]float32, cfg.Hidden)
+	attnOut := make([]float32, cfg.Hidden)
+	proj := make([]float32, cfg.Hidden)
+	gate := make([]float32, cfg.FFN)
+	up := make([]float32, cfg.FFN)
+
+	for l := 0; l < cfg.Layers; l++ {
+		lw := &s.m.layers[l]
+		cachedK, cachedV := s.cacheK[l], s.cacheV[l]
+		nCached := 0
+		if attendCache {
+			nCached = len(cachedK)
+		}
+		kRows := make([][]float32, nNew)
+		vRows := make([][]float32, nNew)
+		// New tokens are processed in order; the topology guarantees a
+		// token only attends previously processed new tokens.
+		for i := 0; i < nNew; i++ {
+			s.m.norm(x[i], lw.attnNorm, lw.attnNormBias, h1)
+			tensor.MatVec(lw.wq, h1, q)
+			k := make([]float32, cfg.Hidden)
+			v := make([]float32, cfg.Hidden)
+			tensor.MatVec(lw.wk, h1, k)
+			tensor.MatVec(lw.wv, h1, v)
+			if cfg.Arch == ArchLLaMA {
+				for h := 0; h < cfg.Heads; h++ {
+					tensor.Rope(q[h*hd:(h+1)*hd], positions[i], s.m.ropeTheta)
+					tensor.Rope(k[h*hd:(h+1)*hd], positions[i], s.m.ropeTheta)
+				}
+			}
+			kRows[i], vRows[i] = k, v
+
+			// Attention per head over cached positions + allowed new ones.
+			for h := 0; h < cfg.Heads; h++ {
+				qh := q[h*hd : (h+1)*hd]
+				scores := make([]float32, nCached+i+1)
+				for j := 0; j < nCached; j++ {
+					scores[j] = tensor.Dot(qh, cachedK[j][h*hd:(h+1)*hd]) * scale
+				}
+				for j := 0; j <= i; j++ {
+					if mask(i, j) {
+						scores[nCached+j] = tensor.Dot(qh, kRows[j][h*hd:(h+1)*hd]) * scale
+					} else {
+						scores[nCached+j] = tensor.NegInf
+					}
+				}
+				tensor.Softmax(scores)
+				oh := attnOut[h*hd : (h+1)*hd]
+				for d := 0; d < hd; d++ {
+					oh[d] = 0
+				}
+				for j := 0; j < nCached; j++ {
+					if scores[j] != 0 {
+						tensor.Axpy(scores[j], cachedV[j][h*hd:(h+1)*hd], oh)
+					}
+				}
+				for j := 0; j <= i; j++ {
+					if scores[nCached+j] != 0 {
+						tensor.Axpy(scores[nCached+j], vRows[j][h*hd:(h+1)*hd], oh)
+					}
+				}
+			}
+			tensor.MatVec(lw.wo, attnOut, proj)
+			tensor.Add(x[i], proj)
+
+			s.m.norm(x[i], lw.mlpNorm, lw.mlpNormBias, h1)
+			if cfg.Arch == ArchOPT {
+				// Two-projection ReLU MLP.
+				tensor.MatVec(lw.wUp, h1, up)
+				tensor.ReLU(up)
+				tensor.MatVec(lw.wDown, up, proj)
+			} else {
+				// SwiGLU MLP.
+				tensor.MatVec(lw.wGate, h1, gate)
+				tensor.MatVec(lw.wUp, h1, up)
+				tensor.SiLU(gate)
+				for d := range gate {
+					gate[d] *= up[d]
+				}
+				tensor.MatVec(lw.wDown, gate, proj)
+			}
+			tensor.Add(x[i], proj)
+		}
+		newK[l], newV[l] = kRows, vRows
+	}
+
+	dists = make([][]float32, nNew)
+	logits := make([]float32, cfg.Vocab)
+	normed := make([]float32, cfg.Hidden)
+	for i := 0; i < nNew; i++ {
+		s.m.norm(x[i], s.m.finalNorm, s.m.finalNormBias, normed)
+		tensor.MatVec(s.m.lmHead, normed, logits)
+		d := cloneVec(logits)
+		tensor.Softmax(d)
+		dists[i] = d
+	}
+	return dists, newK, newV
+}
+
+func cloneVec(v []float32) []float32 {
+	c := make([]float32, len(v))
+	copy(c, v)
+	return c
+}
+
+func cloneDists(d [][]float32) [][]float32 {
+	out := make([][]float32, len(d))
+	for i, v := range d {
+		out[i] = cloneVec(v)
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+// Package verifier implements SpecInfer's token tree verification (§4.3,
+// Algorithm 2): greedy verification, multi-step speculative sampling (MSS,
+// Theorem 4.2) and the naive-sampling baseline (NS, Theorem 4.3) it is
+// compared against in Table 3.
+//
+// A verifier consumes the LLM's per-node output distributions — produced
+// by one tree-based parallel decoding pass (model.Session.DecodeTree) —
+// and walks the speculated tree from the root, deciding which speculated
+// tokens to keep. Every verification appends exactly one final token drawn
+// from the LLM itself (the "bonus" token: Algorithm 2 lines 21 and 42-43),
+// so even a completely wrong speculation makes the same progress as one
+// incremental decoding step.
+package verifier
+
+import (
+	"specinfer/internal/model"
+	"specinfer/internal/sampling"
+	"specinfer/internal/tensor"
+	"specinfer/internal/tree"
+)
+
+// VerifyGreedy implements Algorithm 2's VerifyGreedy: descend the tree
+// while a child matches the LLM's argmax token, then append the argmax at
+// the first miss (or past the deepest hit). dists[u] must be the LLM's
+// temperature-1 distribution after sequence S_u, for every node u.
+func VerifyGreedy(dists [][]float32, tr *tree.Tree) []model.Token {
+	var verified []model.Token
+	u := tr.Root()
+	for {
+		want, _ := tensor.ArgMax(dists[u])
+		verified = append(verified, want)
+		v := tr.ChildWithToken(u, want)
+		if v == -1 {
+			return verified
+		}
+		u = v
+	}
+}
+
+// VerifyStochastic implements Algorithm 2's VerifyStochastic — multi-step
+// speculative sampling. At each node it examines the children in uniformly
+// random order: child s (token x, proposed from SSM distribution q_s) is
+// accepted with probability min(1, p(x)/q_s(x)); on rejection the target
+// is updated to the normalized residual max(0, p - q_s) before the next
+// child is tried. If every child is rejected the next token is sampled
+// from the final residual. The returned sequence follows exactly the LLM's
+// sampling distribution (Theorem 4.2), which the package tests check
+// empirically against adversarial proposals.
+//
+// policy is the request's decode policy; both the LLM distributions and
+// the stored SSM proposals must be expressed under it (the speculator
+// stores policy-transformed proposals).
+func VerifyStochastic(dists [][]float32, tr *tree.Tree, policy sampling.Config, rng *tensor.RNG) []model.Token {
+	var verified []model.Token
+	u := tr.Root()
+	for !tr.IsLeaf(u) {
+		p := policy.Transform(dists[u]) // fresh copy; mutated by residual updates
+		// H is the multiset of SSM draws at u: one entry per proposal of
+		// each child, so repeated draws of the same token are accounted
+		// for exactly (each rejection subtracts its own q).
+		type draft struct {
+			node tree.NodeID
+			prop tree.Proposal
+		}
+		var h []draft
+		for _, c := range tr.Node(u).Children {
+			for _, pr := range tr.Node(c).Proposals {
+				h = append(h, draft{node: c, prop: pr})
+			}
+		}
+		accepted := -1
+		for len(h) > 0 {
+			si := rng.Intn(len(h))
+			s := h[si]
+			x := tr.Node(s.node).Token
+			q := s.prop.Dist
+			if q == nil {
+				panic("verifier: stochastic verification requires proposal distributions on speculated nodes")
+			}
+			qx := float64(q[x])
+			if qx > 0 && rng.Float64() <= float64(p[x])/qx {
+				accepted = s.node
+				break
+			}
+			// Residual update: p <- norm(max(0, p - q)).
+			for i := range p {
+				r := p[i] - q[i]
+				if r < 0 {
+					r = 0
+				}
+				p[i] = r
+			}
+			tensor.Normalize(p)
+			h[si] = h[len(h)-1]
+			h = h[:len(h)-1]
+		}
+		if accepted == -1 {
+			// All speculated children rejected: sample from the residual.
+			verified = append(verified, rng.SampleCategorical(p))
+			return verified
+		}
+		verified = append(verified, tr.Node(accepted).Token)
+		u = accepted
+	}
+	// Reached a leaf with every token accepted: bonus token from the
+	// leaf's own LLM distribution.
+	verified = append(verified, policy.Sample(rng, dists[u]))
+	return verified
+}
+
+// VerifyNaive is the naive-sampling baseline of §4.3: sample the next
+// token directly from the LLM's distribution and keep descending only
+// while the sampled token happens to be a speculated child. Trivially
+// distribution-preserving; strictly more rejective than MSS (Theorem 4.3).
+func VerifyNaive(dists [][]float32, tr *tree.Tree, policy sampling.Config, rng *tensor.RNG) []model.Token {
+	var verified []model.Token
+	u := tr.Root()
+	for {
+		x := policy.Sample(rng, dists[u])
+		verified = append(verified, x)
+		v := tr.ChildWithToken(u, x)
+		if v == -1 {
+			return verified
+		}
+		u = v
+	}
+}
+
+// Verify dispatches on the policy mode: greedy policies use VerifyGreedy,
+// stochastic ones use MSS.
+func Verify(dists [][]float32, tr *tree.Tree, policy sampling.Config, rng *tensor.RNG) []model.Token {
+	if policy.Mode == sampling.Greedy {
+		return VerifyGreedy(dists, tr)
+	}
+	return VerifyStochastic(dists, tr, policy, rng)
+}

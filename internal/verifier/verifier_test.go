@@ -1,0 +1,291 @@
+package verifier
+
+import (
+	"math"
+	"testing"
+
+	"specinfer/internal/sampling"
+	"specinfer/internal/tensor"
+	"specinfer/internal/tree"
+)
+
+// fixedDists builds a dists slice where every node shares the same
+// distribution.
+func fixedDists(tr *tree.Tree, d []float32) [][]float32 {
+	out := make([][]float32, tr.Len())
+	for i := range out {
+		out[i] = d
+	}
+	return out
+}
+
+func TestVerifyGreedyFollowsMatchingPath(t *testing.T) {
+	// Tree: root(0) -> 1 -> 2, root -> 3. LLM argmax: after root -> 1,
+	// after 1 -> 2, after 2 -> 4 (off-tree bonus).
+	tr := tree.New(0)
+	n1 := tr.AddChild(tr.Root(), 1, 1, 0)
+	tr.AddChild(n1, 2, 1, 0)
+	tr.AddChild(tr.Root(), 3, 1, 0)
+
+	vocab := 6
+	oneHot := func(i int) []float32 {
+		d := make([]float32, vocab)
+		d[i] = 1
+		return d
+	}
+	dists := make([][]float32, tr.Len())
+	dists[tr.Root()] = oneHot(1)
+	dists[n1] = oneHot(2)
+	dists[tr.ChildWithToken(n1, 2)] = oneHot(4)
+	dists[tr.ChildWithToken(tr.Root(), 3)] = oneHot(5)
+
+	got := VerifyGreedy(dists, tr)
+	want := []int{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("verified %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("verified %v, want %v", got, want)
+		}
+	}
+}
+
+func TestVerifyGreedyImmediateMiss(t *testing.T) {
+	tr := tree.New(0)
+	tr.AddChild(tr.Root(), 1, 1, 0)
+	d := []float32{0, 0, 1, 0} // argmax 2, not speculated
+	got := VerifyGreedy(fixedDists(tr, d), tr)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("got %v, want [2]", got)
+	}
+}
+
+func TestVerifyGreedyAlwaysAppendsBonus(t *testing.T) {
+	// Even on a root-only tree, one token must come out (the LLM's own).
+	tr := tree.New(0)
+	d := []float32{0, 1}
+	got := VerifyGreedy(fixedDists(tr, d), tr)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// mssTree builds a one-level tree with the given child tokens, all
+// proposed from distribution q.
+func mssTree(root int, childToks []int, q []float32) *tree.Tree {
+	tr := tree.New(root)
+	for _, tok := range childToks {
+		tr.AddChildDist(tr.Root(), tok, q[tok], 0, q)
+	}
+	return tr
+}
+
+// TestMSSPreservesDistribution is the empirical Theorem 4.2 check: the
+// first token produced by MSS must follow the LLM's distribution exactly,
+// for an adversarially mismatched proposal, when speculated children are
+// genuine samples of the proposal.
+func TestMSSPreservesDistribution(t *testing.T) {
+	p := []float32{0.05, 0.50, 0.20, 0.25} // LLM
+	q := []float32{0.70, 0.05, 0.20, 0.05} // badly aligned SSM
+	policy := sampling.StochasticConfig()
+	rng := tensor.NewRNG(77)
+
+	n := 200000
+	counts := make([]int, len(p))
+	for i := 0; i < n; i++ {
+		// Draw 2 children as samples from q (the premise of Theorem 4.2).
+		// Duplicate draws accumulate as proposals on one node.
+		tr := tree.New(9)
+		c1 := rng.SampleCategorical(q)
+		c2 := rng.SampleCategorical(q)
+		tr.AddProposal(tr.Root(), c1, q[c1], 0, q)
+		tr.AddProposal(tr.Root(), c2, q[c2], 0, q)
+		got := VerifyStochastic(fixedDists(tr, p), tr, policy, rng)
+		counts[got[0]]++
+	}
+	for i := range p {
+		freq := float64(counts[i]) / float64(n)
+		if math.Abs(freq-float64(p[i])) > 0.01 {
+			t.Fatalf("token %d frequency %.4f, want %.4f (Theorem 4.2 violated)",
+				i, freq, p[i])
+		}
+	}
+}
+
+// TestMSSMultiSSMPreservesDistribution exercises the merge-based case:
+// children proposed by different SSMs with different distributions.
+func TestMSSMultiSSMPreservesDistribution(t *testing.T) {
+	p := []float32{0.1, 0.4, 0.3, 0.2}
+	q1 := []float32{0.6, 0.2, 0.1, 0.1}
+	q2 := []float32{0.1, 0.1, 0.2, 0.6}
+	policy := sampling.StochasticConfig()
+	rng := tensor.NewRNG(13)
+
+	n := 200000
+	counts := make([]int, len(p))
+	for i := 0; i < n; i++ {
+		c1 := rng.SampleCategorical(q1)
+		c2 := rng.SampleCategorical(q2)
+		tr := tree.New(9)
+		tr.AddProposal(tr.Root(), c1, q1[c1], 0, q1)
+		tr.AddProposal(tr.Root(), c2, q2[c2], 1, q2)
+		got := VerifyStochastic(fixedDists(tr, p), tr, policy, rng)
+		counts[got[0]]++
+	}
+	for i := range p {
+		freq := float64(counts[i]) / float64(n)
+		if math.Abs(freq-float64(p[i])) > 0.01 {
+			t.Fatalf("token %d frequency %.4f, want %.4f", i, freq, p[i])
+		}
+	}
+}
+
+// TestMSSBeatsNaiveSampling is the empirical Theorem 4.3 check: MSS's
+// acceptance rate must dominate naive sampling's.
+func TestMSSBeatsNaiveSampling(t *testing.T) {
+	p := []float32{0.3, 0.3, 0.2, 0.2}
+	q := []float32{0.4, 0.3, 0.2, 0.1}
+	policy := sampling.StochasticConfig()
+	rng := tensor.NewRNG(5)
+
+	n := 50000
+	mssAccepts, nsAccepts := 0, 0
+	for i := 0; i < n; i++ {
+		c := rng.SampleCategorical(q)
+		tr := mssTree(9, []int{c}, q)
+		dists := fixedDists(tr, p)
+		if got := VerifyStochastic(dists, tr, policy, rng); len(got) == 2 {
+			mssAccepts++ // child accepted + bonus
+		}
+		if got := VerifyNaive(dists, tr, policy, rng); len(got) == 2 {
+			nsAccepts++
+		}
+	}
+	if mssAccepts < nsAccepts {
+		t.Fatalf("MSS accepted %d < NS %d (Theorem 4.3 violated)",
+			mssAccepts, nsAccepts)
+	}
+}
+
+func TestNaivePreservesDistribution(t *testing.T) {
+	p := []float32{0.25, 0.25, 0.4, 0.1}
+	q := []float32{1, 0, 0, 0}
+	tr := mssTree(9, []int{0}, q)
+	policy := sampling.StochasticConfig()
+	rng := tensor.NewRNG(3)
+	n := 100000
+	counts := make([]int, len(p))
+	for i := 0; i < n; i++ {
+		got := VerifyNaive(fixedDists(tr, p), tr, policy, rng)
+		counts[got[0]]++
+	}
+	for i := range p {
+		freq := float64(counts[i]) / float64(n)
+		if math.Abs(freq-float64(p[i])) > 0.01 {
+			t.Fatalf("token %d frequency %.4f, want %.4f", i, freq, p[i])
+		}
+	}
+}
+
+func TestMSSPerfectProposalAlwaysAccepts(t *testing.T) {
+	// If the SSM equals the LLM, the speculated child sampled from it must
+	// always be accepted (ratio = 1).
+	p := []float32{0.5, 0.3, 0.2}
+	policy := sampling.StochasticConfig()
+	rng := tensor.NewRNG(8)
+	for i := 0; i < 2000; i++ {
+		c := rng.SampleCategorical(p)
+		tr := mssTree(9, []int{c}, p)
+		got := VerifyStochastic(fixedDists(tr, p), tr, policy, rng)
+		if len(got) != 2 || got[0] != c {
+			t.Fatalf("perfect proposal rejected: got %v want child %d + bonus", got, c)
+		}
+	}
+}
+
+func TestMSSDeepTreeVerifiesMultiple(t *testing.T) {
+	// A path tree proposed from the exact LLM distribution must be fully
+	// accepted, producing depth+1 tokens.
+	p := []float32{0, 1, 0} // always token 1
+	tr := tree.New(1)
+	u := tr.Root()
+	for d := 0; d < 4; d++ {
+		u = tr.AddChildDist(u, 1, 1, 0, p)
+	}
+	policy := sampling.StochasticConfig()
+	got := VerifyStochastic(fixedDists(tr, p), tr, policy, tensor.NewRNG(1))
+	if len(got) != 5 {
+		t.Fatalf("verified %d tokens, want 5", len(got))
+	}
+	for _, tok := range got {
+		if tok != 1 {
+			t.Fatalf("unexpected token in %v", got)
+		}
+	}
+}
+
+func TestVerifyDispatch(t *testing.T) {
+	p := []float32{0, 1}
+	tr := tree.New(1)
+	tr.AddChildDist(tr.Root(), 1, 1, 0, p)
+	rng := tensor.NewRNG(2)
+	g := Verify(fixedDists(tr, p), tr, sampling.GreedyConfig(), rng)
+	s := Verify(fixedDists(tr, p), tr, sampling.StochasticConfig(), rng)
+	if len(g) != 2 || len(s) != 2 {
+		t.Fatalf("dispatch results greedy=%v stochastic=%v", g, s)
+	}
+}
+
+func TestStochasticRequiresSSMDist(t *testing.T) {
+	tr := tree.New(0)
+	tr.AddChild(tr.Root(), 1, 1, 0) // no SSMDist
+	defer func() {
+		if recover() == nil {
+			t.Fatal("must panic without SSMDist")
+		}
+	}()
+	VerifyStochastic(fixedDists(tr, []float32{0.5, 0.5}), tr,
+		sampling.StochasticConfig(), tensor.NewRNG(1))
+}
+
+// TestMSSPreservesTransformedDistribution: Theorem 4.2 must hold for the
+// policy-transformed distribution too (temperature + top-k), since that
+// is what the LLM actually samples from in stochastic serving.
+func TestMSSPreservesTransformedDistribution(t *testing.T) {
+	raw := []float32{0.05, 0.50, 0.20, 0.25}
+	policy := sampling.Config{Mode: sampling.Stochastic, Temperature: 0.7, TopK: 3}
+	target := policy.Transform(raw)
+	// The proposal is expressed under the same policy.
+	q := policy.Transform([]float32{0.60, 0.10, 0.05, 0.25})
+	rng := tensor.NewRNG(31)
+
+	n := 200000
+	counts := make([]int, len(raw))
+	for i := 0; i < n; i++ {
+		c := rng.SampleCategorical(q)
+		tr := tree.New(9)
+		tr.AddProposal(tr.Root(), c, q[c], 0, q)
+		got := VerifyStochastic(fixedDists(tr, raw), tr, policy, rng)
+		counts[got[0]]++
+	}
+	for i := range target {
+		freq := float64(counts[i]) / float64(n)
+		if math.Abs(freq-float64(target[i])) > 0.01 {
+			t.Fatalf("token %d frequency %.4f, want %.4f", i, freq, target[i])
+		}
+	}
+}
+
+// TestMSSZeroProposalProbability: a child whose recorded proposal mass is
+// zero must simply be rejected, not crash or divide by zero.
+func TestMSSZeroProposalProbability(t *testing.T) {
+	p := []float32{0.5, 0.5}
+	q := []float32{1, 0}
+	tr := tree.New(9)
+	tr.AddProposal(tr.Root(), 1, 0, 0, q) // token 1 has q=0
+	got := VerifyStochastic(fixedDists(tr, p), tr, sampling.StochasticConfig(), tensor.NewRNG(2))
+	if len(got) != 1 {
+		t.Fatalf("zero-probability child must be rejected, got %v", got)
+	}
+}

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"specinfer/internal/tensor"
+)
+
+func TestDatasetsWellFormed(t *testing.T) {
+	ds := Datasets()
+	if len(ds) != 5 {
+		t.Fatalf("want 5 datasets, got %d", len(ds))
+	}
+	names := map[string]bool{}
+	for _, d := range ds {
+		if names[d.Name] {
+			t.Fatalf("duplicate dataset %s", d.Name)
+		}
+		names[d.Name] = true
+		if d.Branch < 1 || d.Branch > d.Vocab || d.ZipfS <= 0 {
+			t.Fatalf("dataset %s has bad parameters: %+v", d.Name, d)
+		}
+	}
+	for _, want := range []string{"Alpaca", "CP", "WebQA", "CIP", "PIQA"} {
+		if !names[want] {
+			t.Fatalf("missing dataset %s", want)
+		}
+	}
+}
+
+func TestDatasetByName(t *testing.T) {
+	if DatasetByName("Alpaca").Name != "Alpaca" {
+		t.Fatal("lookup failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown dataset must panic")
+		}
+	}()
+	DatasetByName("nope")
+}
+
+func TestMarkovDeterministic(t *testing.T) {
+	d := DatasetByName("Alpaca")
+	m1, m2 := NewMarkov(d), NewMarkov(d)
+	s1 := m1.Generate(tensor.NewRNG(7), 50)
+	s2 := m2.Generate(tensor.NewRNG(7), 50)
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("Markov generation must be deterministic per seed")
+		}
+	}
+}
+
+func TestMarkovDistIsDistribution(t *testing.T) {
+	m := NewMarkov(DatasetByName("WebQA"))
+	rng := tensor.NewRNG(1)
+	hist := m.Generate(rng, 10)
+	p := m.Dist(hist)
+	var sum float64
+	support := 0
+	for _, v := range p {
+		if v < 0 {
+			t.Fatal("negative probability")
+		}
+		if v > 0 {
+			support++
+		}
+		sum += float64(v)
+	}
+	if math.Abs(sum-1) > 1e-4 {
+		t.Fatalf("dist sums to %v", sum)
+	}
+	if support != m.Dataset().Branch {
+		t.Fatalf("support %d != branch %d", support, m.Dataset().Branch)
+	}
+}
+
+func TestGenerateFollowsDist(t *testing.T) {
+	// Tokens generated after a fixed context must be exactly the context's
+	// successor support.
+	m := NewMarkov(DatasetByName("CIP"))
+	hist := []int{3, 4}
+	p := m.Dist(hist)
+	rng := tensor.NewRNG(2)
+	for trial := 0; trial < 200; trial++ {
+		s := m.successors(3, 4)
+		tok := s.toks[rng.SampleCategorical(s.weights)]
+		if p[tok] == 0 {
+			t.Fatalf("generated token %d has zero ground-truth mass", tok)
+		}
+	}
+}
+
+func TestCorpusShapes(t *testing.T) {
+	m := NewMarkov(DatasetByName("PIQA"))
+	rng := tensor.NewRNG(3)
+	c := m.Corpus(rng, 4, 25)
+	if len(c) != 4 {
+		t.Fatalf("corpus len %d", len(c))
+	}
+	for _, seq := range c {
+		if len(seq) != 25 {
+			t.Fatalf("sequence len %d", len(seq))
+		}
+		for _, tok := range seq {
+			if tok < 0 || tok >= m.Dataset().Vocab {
+				t.Fatalf("token %d out of vocab", tok)
+			}
+		}
+	}
+}
+
+func TestTrace(t *testing.T) {
+	m := NewMarkov(DatasetByName("CP"))
+	reqs := m.Trace(tensor.NewRNG(4), 8, 16, 128)
+	if len(reqs) != 8 {
+		t.Fatalf("trace len %d", len(reqs))
+	}
+	for i, r := range reqs {
+		if r.ID != i || len(r.Prompt) != 16 || r.MaxNewTok != 128 {
+			t.Fatalf("bad request %+v", r)
+		}
+	}
+}
+
+func TestEntropyOrdering(t *testing.T) {
+	// CIP (branch 20, skew 1.55) must have lower conditional entropy than
+	// WebQA (branch 30, skew 1.30) — this drives the acceptance ordering.
+	ent := func(name string) float64 {
+		m := NewMarkov(DatasetByName(name))
+		rng := tensor.NewRNG(5)
+		var h float64
+		n := 200
+		for i := 0; i < n; i++ {
+			hist := m.Generate(rng, 8)
+			for _, p := range m.Dist(hist) {
+				if p > 0 {
+					h -= float64(p) * math.Log2(float64(p))
+				}
+			}
+		}
+		return h / float64(n)
+	}
+	cip, webqa := ent("CIP"), ent("WebQA")
+	if cip >= webqa {
+		t.Fatalf("entropy(CIP)=%v must be < entropy(WebQA)=%v", cip, webqa)
+	}
+}
