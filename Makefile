@@ -1,0 +1,27 @@
+# The same verification gate CI runs (.github/workflows/ci.yml), in one
+# local command: make check.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race lint
+
+check: fmt vet build race lint
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) run ./cmd/specinferlint ./...

@@ -20,17 +20,30 @@ import (
 
 	"specinfer/internal/bench"
 	"specinfer/internal/sampling"
+	"specinfer/internal/workload"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller workloads (faster, noisier)")
 	only := flag.String("only", "", "render a single experiment")
 	csvDir := flag.String("csv", "", "also write one CSV per experiment into this directory")
+	dataset := flag.String("dataset", "", "restrict the dataset sweeps (tables 1-3, fig9) to one dataset: Alpaca|CP|WebQA|CIP|PIQA")
 	flag.Parse()
 
 	scale := 1
 	if *quick {
 		scale = 2
+	}
+	var dsFilter []workload.Dataset
+	fig9Dataset := ""
+	if *dataset != "" {
+		ds, err := workload.LookupDataset(*dataset)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		dsFilter = []workload.Dataset{ds}
+		fig9Dataset = ds.Name
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -42,16 +55,16 @@ func main() {
 
 	runAll := *only == ""
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	defer w.Flush()
+	defer flush(w)
 
 	if runAll || *only == "table1" {
-		table1(w, scale)
+		table1(w, scale, dsFilter)
 	}
 	if runAll || *only == "table2" {
-		table2(w, scale)
+		table2(w, scale, dsFilter)
 	}
 	if runAll || *only == "table3" {
-		table3(w, scale)
+		table3(w, scale, dsFilter)
 	}
 	if runAll || *only == "fig7" {
 		figure7(w, scale)
@@ -60,7 +73,7 @@ func main() {
 		figure8(w, scale)
 	}
 	if runAll || *only == "fig9" {
-		figure9(w, scale)
+		figure9(w, scale, fig9Dataset)
 	}
 	if runAll || *only == "fig10" {
 		figure10(w, scale)
@@ -94,15 +107,26 @@ func writeCSV(name string, rows [][]string) {
 		fmt.Fprintln(os.Stderr, "csv:", err)
 		return
 	}
-	defer f.Close()
 	cw := csv.NewWriter(f)
-	if err := cw.WriteAll(rows); err != nil {
+	err = cw.WriteAll(rows)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "csv:", err)
 	}
 }
 
+// flush drains the table writer, reporting (rather than swallowing) write
+// errors.
+func flush(w *tabwriter.Writer) {
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+}
+
 func header(w *tabwriter.Writer, title string) {
-	w.Flush()
+	flush(w)
 	fmt.Println()
 	fmt.Println("## " + title)
 	fmt.Println()
@@ -115,9 +139,9 @@ func modeName(m sampling.Mode) string {
 	return "stochastic"
 }
 
-func table1(w *tabwriter.Writer, scale int) {
+func table1(w *tabwriter.Writer, scale int, dss []workload.Dataset) {
 	header(w, "Table 1 — success rate of verifying a token using the SSM's top-k")
-	rows := bench.Table1(bench.Table1Config{Prompts: 40 / scale, Steps: 64})
+	rows := bench.Table1(bench.Table1Config{Prompts: 40 / scale, Steps: 64, Datasets: dss})
 	fmt.Fprintln(w, "mode\tdataset\tk=1\tk=2\tk=3\tk=4\tk=5")
 	recs := [][]string{{"mode", "dataset", "k1", "k2", "k3", "k4", "k5"}}
 	for _, r := range rows {
@@ -133,9 +157,9 @@ func table1(w *tabwriter.Writer, scale int) {
 	writeCSV("table1", recs)
 }
 
-func table2(w *tabwriter.Writer, scale int) {
+func table2(w *tabwriter.Writer, scale int, dss []workload.Dataset) {
 	header(w, "Table 2 — average tokens verified per decoding step (speculation length 8)")
-	rows := bench.Table2(bench.Table2Config{Requests: 16 / scale, GenLen: 128 / scale})
+	rows := bench.Table2(bench.Table2Config{Requests: 16 / scale, GenLen: 128 / scale, Datasets: dss})
 	fmt.Fprintln(w, "mode\tdataset\tw=1\tw=2\tw=3\tw=4\tw=5")
 	recs := [][]string{{"mode", "dataset", "w1", "w2", "w3", "w4", "w5"}}
 	for _, r := range rows {
@@ -150,9 +174,9 @@ func table2(w *tabwriter.Writer, scale int) {
 	writeCSV("table2", recs)
 }
 
-func table3(w *tabwriter.Writer, scale int) {
+func table3(w *tabwriter.Writer, scale int, dss []workload.Dataset) {
 	header(w, "Table 3 — naive sampling vs multi-step speculative sampling (width 5, depth 8)")
-	rows := bench.Table3(bench.Table2Config{Requests: 16 / scale, GenLen: 128 / scale})
+	rows := bench.Table3(bench.Table2Config{Requests: 16 / scale, GenLen: 128 / scale, Datasets: dss})
 	fmt.Fprintln(w, "dataset\tnaive\tMSS\timprovement")
 	recs := [][]string{{"dataset", "naive", "mss", "improvement"}}
 	for _, r := range rows {
@@ -235,9 +259,12 @@ func figure8(w *tabwriter.Writer, scale int) {
 	}
 }
 
-func figure9(w *tabwriter.Writer, scale int) {
-	header(w, "Figure 9 — CDF of avg verified tokens per step (Alpaca), deciles")
-	series := bench.Figure9(bench.Figure9Config{Requests: 32 / scale, GenLen: 128 / scale})
+func figure9(w *tabwriter.Writer, scale int, dataset string) {
+	if dataset == "" {
+		dataset = "Alpaca" // Figure9Config's default; the paper uses Alpaca prompts
+	}
+	header(w, "Figure 9 — CDF of avg verified tokens per step ("+dataset+"), deciles")
+	series := bench.Figure9(bench.Figure9Config{Dataset: dataset, Requests: 32 / scale, GenLen: 128 / scale})
 	recs := [][]string{{"mode", "width", "value", "cdf"}}
 	for _, s := range series {
 		for _, pt := range s.CDF {

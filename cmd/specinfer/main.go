@@ -49,7 +49,11 @@ func main() {
 	)
 	flag.Parse()
 
-	ds := workload.DatasetByName(*dataset)
+	ds, err := workload.LookupDataset(*dataset)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	pair := bench.Models(ds)
 	tok := tokenizer.New(ds.Vocab, ds.Seed)
 

@@ -1,0 +1,73 @@
+// Command specinferlint runs the project's static-analysis suite
+// (internal/lint) over the module and exits non-zero on findings. It is
+// part of the CI gate next to go vet and go test -race.
+//
+// Usage:
+//
+//	specinferlint [-list] [-only analyzer,...] [packages]
+//
+// Packages are directory patterns ("./...", "./internal/core", default
+// "./..."). Findings print as file:line:col: [analyzer] message. A
+// finding is suppressed by a
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// comment on the offending line or the line directly above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"specinfer/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "specinferlint: unknown analyzer %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "specinferlint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(root, flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "specinferlint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "specinferlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

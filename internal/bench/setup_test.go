@@ -1,0 +1,41 @@
+package bench
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestModelsConcurrent hammers the pairCache from many goroutines. Under
+// `go test -race` (part of the CI gate) it is the regression test that
+// the pairCacheMu locking stays sound as the harness gains parallel
+// drivers; it also checks a dataset's trained pair is built once and
+// shared, never retrained per caller.
+func TestModelsConcurrent(t *testing.T) {
+	dss := Datasets()
+	const goroutines = 16
+	got := make([][]Pair, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2*len(dss); i++ {
+				got[g] = append(got[g], Models(dss[(g+i)%len(dss)]))
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	ref := map[string]Pair{}
+	for _, d := range dss {
+		ref[d.Name] = Models(d)
+	}
+	for g := range got {
+		for _, p := range got[g] {
+			want := ref[p.Dataset.Name]
+			if p.LLM != want.LLM || p.SSM != want.SSM || p.Markov != want.Markov {
+				t.Fatalf("goroutine %d: cache returned a distinct pair for %s", g, p.Dataset.Name)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package bench
 import (
 	"specinfer/internal/sampling"
 	"specinfer/internal/tensor"
+	"specinfer/internal/workload"
 )
 
 // Table1Row is one row of Table 1: the success rate of verifying a token
@@ -19,6 +20,8 @@ type Table1Config struct {
 	Prompts int // prompts per dataset
 	Steps   int // decoding steps measured per prompt
 	Seed    uint64
+	// Datasets restricts the sweep; nil means all benchmark datasets.
+	Datasets []workload.Dataset
 }
 
 func (c Table1Config) withDefaults() Table1Config {
@@ -30,6 +33,9 @@ func (c Table1Config) withDefaults() Table1Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = calib.Seed
+	}
+	if len(c.Datasets) == 0 {
+		c.Datasets = Datasets()
 	}
 	return c
 }
@@ -44,7 +50,7 @@ func Table1(cfg Table1Config) []Table1Row {
 	cfg = cfg.withDefaults()
 	var rows []Table1Row
 	for _, mode := range []sampling.Mode{sampling.Greedy, sampling.Stochastic} {
-		for _, ds := range Datasets() {
+		for _, ds := range cfg.Datasets {
 			p := Models(ds)
 			rng := tensor.NewRNG(cfg.Seed ^ ds.Seed ^ uint64(mode))
 			row := Table1Row{Mode: mode, Dataset: ds.Name}

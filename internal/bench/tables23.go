@@ -43,6 +43,8 @@ type Table2Row struct {
 type Table2Config struct {
 	Requests int
 	GenLen   int
+	// Datasets restricts the sweep; nil means all benchmark datasets.
+	Datasets []workload.Dataset
 }
 
 func (c Table2Config) withDefaults() Table2Config {
@@ -51,6 +53,9 @@ func (c Table2Config) withDefaults() Table2Config {
 	}
 	if c.GenLen == 0 {
 		c.GenLen = calib.GenLen
+	}
+	if len(c.Datasets) == 0 {
+		c.Datasets = Datasets()
 	}
 	return c
 }
@@ -61,7 +66,7 @@ func Table2(cfg Table2Config) []Table2Row {
 	cfg = cfg.withDefaults()
 	var rows []Table2Row
 	for _, mode := range []sampling.Mode{sampling.Greedy, sampling.Stochastic} {
-		for _, ds := range Datasets() {
+		for _, ds := range cfg.Datasets {
 			p := Models(ds)
 			row := Table2Row{Mode: mode, Dataset: ds.Name}
 			for k := 1; k <= 5; k++ {
@@ -101,7 +106,7 @@ type Table3Row struct {
 func Table3(cfg Table2Config) []Table3Row {
 	cfg = cfg.withDefaults()
 	var rows []Table3Row
-	for _, ds := range Datasets() {
+	for _, ds := range cfg.Datasets {
 		p := Models(ds)
 		naive := avgVerified(p, sampling.Stochastic, tree.WidthConfig(5), cfg.Requests, cfg.GenLen, true)
 		mss := avgVerified(p, sampling.Stochastic, tree.WidthConfig(5), cfg.Requests, cfg.GenLen, false)

@@ -296,6 +296,8 @@ func (e *Engine) admit(req workload.Request) *reqState {
 	st.lastDist = st.llm.Prefill(req.Prompt)
 	st.lastTok = req.Prompt[len(req.Prompt)-1]
 	switch e.cfg.Mode {
+	case Incremental:
+		// no speculator: incremental decoding samples straight from the LLM
 	case SequenceSpec:
 		st.spec = speculator.NewSequence(e.cfg.SeqDepth, e.cfg.Sample, e.cfg.SSMs[0])
 	case TreeSpec:

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errcheckAllowed are functions whose error results are conventionally
+// ignored: terminal printing (no meaningful recovery) and writes to
+// in-memory buffers, which are documented to always return a nil error.
+var errcheckAllowed = map[string]bool{
+	"fmt.Print":    true,
+	"fmt.Printf":   true,
+	"fmt.Println":  true,
+	"fmt.Fprint":   true,
+	"fmt.Fprintf":  true,
+	"fmt.Fprintln": true,
+
+	"(*strings.Builder).Write":       true,
+	"(*strings.Builder).WriteString": true,
+	"(*strings.Builder).WriteByte":   true,
+	"(*strings.Builder).WriteRune":   true,
+	"(*bytes.Buffer).Write":          true,
+	"(*bytes.Buffer).WriteString":    true,
+	"(*bytes.Buffer).WriteByte":      true,
+	"(*bytes.Buffer).WriteRune":      true,
+}
+
+// ErrCheckAnalyzer flags calls in statement position (including go/defer)
+// that silently discard an error result. Explicit discards (`_ = f()`)
+// are visible to reviewers and therefore allowed.
+var ErrCheckAnalyzer = &Analyzer{
+	Name: "errcheck",
+	Doc: "flag statement-position calls (incl. go/defer) that discard an error result; " +
+		"handle the error or discard it explicitly with `_ =`",
+	Run: runErrCheck,
+}
+
+func runErrCheck(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscard(p, call, "")
+				}
+			case *ast.DeferStmt:
+				checkDiscard(p, n.Call, "defer ")
+			case *ast.GoStmt:
+				checkDiscard(p, n.Call, "go ")
+			}
+			return true
+		})
+	}
+}
+
+// checkDiscard reports call if any of its results is an error.
+func checkDiscard(p *Pass, call *ast.CallExpr, kind string) {
+	if fun := p.Info.Types[call.Fun]; fun.IsType() || fun.IsBuiltin() {
+		return // conversion or builtin, no error result
+	}
+	tv, ok := p.Info.Types[call]
+	if !ok || tv.Type == nil || !hasError(tv.Type) {
+		return
+	}
+	if name := calleeName(p, call); name != "" && errcheckAllowed[name] {
+		return
+	}
+	p.Reportf(call.Pos(), "%scall discards its error result; handle it or assign to _ explicitly", kind)
+}
+
+// hasError reports whether t is error or a tuple containing one.
+func hasError(t types.Type) bool {
+	errType := types.Universe.Lookup("error").Type()
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if types.Identical(tup.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errType)
+}
+
+// calleeName names package-level functions and methods ("fmt.Fprintf",
+// "(*os.File).Close"), or "" when the callee is not a named function.
+func calleeName(p *Pass, call *ast.CallExpr) string {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return ""
+	}
+	if fn, ok := p.Info.Uses[id].(*types.Func); ok {
+		return fn.FullName()
+	}
+	return ""
+}

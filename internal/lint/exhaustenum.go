@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ExhaustEnumAnalyzer keeps switches over the project's enum-like types
+// (core.Mode, sampling.Mode, transformer.Arch, ... — named types whose
+// underlying type is an integer or string and that declare two or more
+// package-level constants) exhaustive: every declared constant must be
+// covered by a case, or the switch must carry a default clause. Engine
+// dispatch silently mis-serving a newly added Mode is exactly the bug
+// class this rules out.
+var ExhaustEnumAnalyzer = &Analyzer{
+	Name: "exhaustenum",
+	Doc: "switches over module-declared enum-like constant sets must cover every " +
+		"declared constant or have a default clause",
+	Run: runExhaustEnum,
+}
+
+func runExhaustEnum(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(p, sw)
+			return true
+		})
+	}
+}
+
+func checkSwitch(p *Pass, sw *ast.SwitchStmt) {
+	tv, ok := p.Info.Types[sw.Tag]
+	if !ok || tv.Type == nil {
+		return
+	}
+	named, ok := types.Unalias(tv.Type).(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !inModule(obj.Pkg().Path(), p.ModulePath) {
+		return
+	}
+	if b, ok := named.Underlying().(*types.Basic); !ok || b.Info()&(types.IsInteger|types.IsString) == 0 {
+		return
+	}
+
+	// Collect the declared constant set. From outside the declaring
+	// package only exported constants are reachable, so only they are
+	// required.
+	type enumConst struct {
+		name  string
+		value string
+	}
+	var consts []enumConst
+	scope := obj.Pkg().Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if obj.Pkg() != p.Pkg && !c.Exported() {
+			continue
+		}
+		consts = append(consts, enumConst{name: name, value: c.Val().ExactString()})
+	}
+	if len(consts) < 2 {
+		return // not enum-like
+	}
+
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // default clause: anything uncovered is handled
+		}
+		for _, e := range cc.List {
+			etv, ok := p.Info.Types[e]
+			if !ok || etv.Value == nil {
+				return // dynamic case expression: coverage is not decidable
+			}
+			covered[etv.Value.ExactString()] = true
+		}
+	}
+
+	var missing []string
+	seen := map[string]bool{}
+	for _, c := range consts {
+		if !covered[c.value] && !seen[c.value] {
+			seen[c.value] = true
+			missing = append(missing, c.name)
+		}
+	}
+	if len(missing) > 0 {
+		p.Reportf(sw.Pos(), "switch over %s misses %s; add the cases or a default clause",
+			obj.Name(), strings.Join(missing, ", "))
+	}
+}
+
+// inModule reports whether path is the module or one of its packages.
+func inModule(path, modulePath string) bool {
+	return path == modulePath || strings.HasPrefix(path, modulePath+"/")
+}

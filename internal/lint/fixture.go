@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+)
+
+// fixtureModulePath is the module path LoadSource packages pretend to
+// belong to; it matches the real module so analyzers scope fixtures the
+// same way they scope repository code.
+const fixtureModulePath = "specinfer"
+
+// All fixtures share one file set and one source importer so the stdlib
+// is type-checked once per process, not once per fixture.
+var (
+	fixtureMu           sync.Mutex
+	fixtureFset         = token.NewFileSet()
+	fixtureStd          = importer.ForCompiler(fixtureFset, "source", nil).(types.ImporterFrom)
+	fixturePlaceholders = map[string]*types.Package{}
+)
+
+// fixtureImporter resolves stdlib imports for real (through the shared
+// source importer) and fabricates empty placeholder packages for dotted
+// module paths, so fixtures can carry blank imports of fake third-party
+// modules (for the nodeps analyzer) without breaking type-checking.
+type fixtureImporter struct{}
+
+func (fixtureImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if first, _, _ := strings.Cut(path, "/"); !strings.Contains(first, ".") {
+		return fixtureStd.Import(path)
+	}
+	if pkg, ok := fixturePlaceholders[path]; ok {
+		return pkg, nil
+	}
+	name := path[strings.LastIndex(path, "/")+1:]
+	pkg := types.NewPackage(path, name)
+	pkg.MarkComplete()
+	fixturePlaceholders[path] = pkg
+	return pkg, nil
+}
+
+// LoadSource parses and type-checks a single in-memory source file as a
+// package with the given import path (e.g. "specinfer/internal/fixture"),
+// for analyzer tests. Imports with a dotted first path element resolve to
+// empty placeholder packages and therefore must be blank imports; stdlib
+// imports are type-checked for real. Module-internal (specinfer/...)
+// imports are not available to fixtures.
+func LoadSource(path, filename, src string) (*Package, error) {
+	fixtureMu.Lock()
+	defer fixtureMu.Unlock()
+	f, err := parser.ParseFile(fixtureFset, filename, src, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	pkg, info, err := check(path, fixtureFset, []*ast.File{f}, fixtureImporter{})
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking fixture %s: %w", filename, err)
+	}
+	return &Package{
+		Path:       path,
+		ModulePath: fixtureModulePath,
+		Fset:       fixtureFset,
+		Files:      []*ast.File{f},
+		Pkg:        pkg,
+		Info:       info,
+	}, nil
+}

@@ -1,0 +1,193 @@
+// Package lint is a stdlib-only static-analysis framework (go/ast,
+// go/parser, go/types — no external dependencies) enforcing
+// SpecInfer-specific invariants the Go compiler cannot see.
+//
+// The correctness claims of the reproduction rest on properties like
+// "VerifyStochastic preserves the LLM's output distribution" (paper
+// Theorems 4.2/4.3), which hold only if every source of randomness flows
+// through the deterministic tensor.RNG, floating-point acceptance
+// decisions never use exact equality on computed values, and enum-driven
+// engine dispatch stays exhaustive as modes are added. Each invariant is
+// one Analyzer; cmd/specinferlint runs the suite over the repository and
+// exits non-zero on findings.
+//
+// A finding can be suppressed by placing a directive comment
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the offending line or on the line directly above it. The analyzer
+// field may name several analyzers separated by commas; the reason is
+// mandatory.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// An Analyzer checks one project invariant over one package at a time.
+type Analyzer struct {
+	// Name is the short identifier used in reports and //lint:ignore
+	// directives.
+	Name string
+	// Doc describes the enforced invariant in one paragraph.
+	Doc string
+	// Run inspects the package behind pass and reports findings through
+	// pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// A Pass hands one type-checked package to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// ModulePath is the module path from go.mod.
+	ModulePath string
+	// Path is the package's import path.
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InInternal reports whether the package lives under <module>/internal/.
+func (p *Pass) InInternal() bool {
+	return strings.HasPrefix(p.Path, p.ModulePath+"/internal/")
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NondeterminismAnalyzer,
+		PanicMsgAnalyzer,
+		FloatEqAnalyzer,
+		ErrCheckAnalyzer,
+		ExhaustEnumAnalyzer,
+		NoDepsAnalyzer,
+	}
+}
+
+// Run applies analyzers to every package and returns the findings that no
+// //lint:ignore directive suppresses, sorted by position. Malformed
+// directives are themselves reported under the name "lint".
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		ig, bad := ignoresOf(pkg)
+		out = append(out, bad...)
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			a.Run(&Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				ModulePath: pkg.ModulePath,
+				Path:       pkg.Path,
+				Files:      pkg.Files,
+				Pkg:        pkg.Pkg,
+				Info:       pkg.Info,
+				diags:      &diags,
+			})
+		}
+		for _, d := range diags {
+			if !ig.suppresses(d) {
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// ignoreSet records, per file and line, which analyzers are suppressed.
+type ignoreSet map[string]map[int]map[string]bool
+
+// ignoresOf scans a package's comments for //lint:ignore directives.
+// Malformed directives (missing analyzer or reason) are returned as
+// diagnostics so they fail the gate instead of silently not applying.
+func ignoresOf(pkg *Package) (ignoreSet, []Diagnostic) {
+	ig := ignoreSet{}
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(strings.TrimPrefix(c.Text, ignorePrefix))
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lint",
+						Message:  "malformed directive: want //lint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				lines := ig[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					ig[pos.Filename] = lines
+				}
+				names := lines[pos.Line]
+				if names == nil {
+					names = map[string]bool{}
+					lines[pos.Line] = names
+				}
+				for _, name := range strings.Split(fields[0], ",") {
+					names[name] = true
+				}
+			}
+		}
+	}
+	return ig, bad
+}
+
+// suppresses reports whether a directive on the diagnostic's line or the
+// line directly above covers it.
+func (ig ignoreSet) suppresses(d Diagnostic) bool {
+	lines := ig[d.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[d.Pos.Line][d.Analyzer] || lines[d.Pos.Line-1][d.Analyzer]
+}

@@ -1,0 +1,175 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"specinfer/internal/lint"
+)
+
+const suppressedSrc = `package fixture
+
+func Cmp(a, b float64) bool {
+	//lint:ignore floateq demonstrating suppression on the line above
+	if a == b {
+		return true
+	}
+	return a != b //lint:ignore floateq same-line directive
+}
+`
+
+func TestIgnoreDirectiveSuppresses(t *testing.T) {
+	if diags := runFixture(t, "specinfer/internal/fixture", suppressedSrc, lint.FloatEqAnalyzer); len(diags) != 0 {
+		t.Fatalf("directives should suppress both findings, got %v", diags)
+	}
+}
+
+const wrongAnalyzerSrc = `package fixture
+
+func Cmp(a, b float64) bool {
+	//lint:ignore errcheck directive names the wrong analyzer
+	return a == b
+}
+`
+
+func TestIgnoreDirectiveIsPerAnalyzer(t *testing.T) {
+	diags := runFixture(t, "specinfer/internal/fixture", wrongAnalyzerSrc, lint.FloatEqAnalyzer)
+	if len(diags) != 1 || diags[0].Analyzer != "floateq" {
+		t.Fatalf("a directive for another analyzer must not suppress floateq, got %v", diags)
+	}
+}
+
+const malformedSrc = `package fixture
+
+func Cmp(a, b float64) bool {
+	//lint:ignore floateq
+	return a == b
+}
+`
+
+func TestMalformedDirectiveReported(t *testing.T) {
+	diags := runFixture(t, "specinfer/internal/fixture", malformedSrc, lint.FloatEqAnalyzer)
+	var sawLint, sawFloatEq bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "lint":
+			sawLint = true
+		case "floateq":
+			sawFloatEq = true
+		}
+	}
+	if !sawLint {
+		t.Errorf("a reason-less directive must be reported as malformed, got %v", diags)
+	}
+	if !sawFloatEq {
+		t.Errorf("a malformed directive must not suppress the finding, got %v", diags)
+	}
+}
+
+func TestDiagnosticPositions(t *testing.T) {
+	src := `package fixture
+
+func Cmp(a, b float64) bool {
+	return a == b
+}
+`
+	diags := runFixture(t, "specinfer/internal/fixture", src, lint.FloatEqAnalyzer)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 finding, got %v", diags)
+	}
+	d := diags[0]
+	if d.Pos.Line != 4 || d.Pos.Column != 11 {
+		t.Fatalf("finding should anchor at 4:11 (the == operator), got %d:%d", d.Pos.Line, d.Pos.Column)
+	}
+	if d.Pos.Filename != "fixture.go" {
+		t.Fatalf("finding should carry the filename, got %q", d.Pos.Filename)
+	}
+}
+
+// TestLoadModule exercises the directory loader end-to-end on a scratch
+// module: pattern expansion, test-file exclusion, module-internal import
+// resolution, and analyzer scoping by import path.
+func TestLoadModule(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.test\n\ngo 1.22\n")
+	write("internal/num/num.go", `package num
+
+// Eq compares exactly; the analyzer must flag it.
+func Eq(a, b float64) bool { return a == b }
+`)
+	write("internal/num/num_test.go", `package num
+
+import "math/rand"
+
+// Test files are out of scope: this rand import must not be loaded.
+func helper() int { return rand.Intn(2) }
+`)
+	write("app/app.go", `package app
+
+import "example.test/internal/num"
+
+func Same(a, b float64) bool { return num.Eq(a, b) }
+`)
+
+	pkgs, err := lint.Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("want 2 packages, got %d", len(pkgs))
+	}
+	if pkgs[0].Path != "example.test/app" || pkgs[1].Path != "example.test/internal/num" {
+		t.Fatalf("unexpected package paths %q, %q", pkgs[0].Path, pkgs[1].Path)
+	}
+
+	diags := lint.Run(pkgs, lint.Analyzers())
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the floateq finding in num.go, got %v", diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "floateq" || filepath.Base(d.Pos.Filename) != "num.go" || d.Pos.Line != 4 {
+		t.Fatalf("unexpected finding %v", d)
+	}
+
+	// A non-recursive pattern loads a single directory.
+	one, err := lint.Load(dir, "./app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0].Path != "example.test/app" {
+		t.Fatalf("pattern ./app should load exactly the app package, got %v", one)
+	}
+}
+
+// TestRepositoryIsLintClean runs the full suite over this repository —
+// the same gate CI applies via cmd/specinferlint.
+func TestRepositoryIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide type-check is not short")
+	}
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+	for _, d := range lint.Run(pkgs, lint.Analyzers()) {
+		t.Errorf("%v", d)
+	}
+}

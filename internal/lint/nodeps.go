@@ -1,0 +1,39 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// NoDepsAnalyzer locks in the repository's zero-dependency property:
+// every non-test file may import only the standard library and
+// specinfer/... packages. The property is what lets the reproduction
+// build anywhere the Go toolchain exists, with no supply chain to audit.
+var NoDepsAnalyzer = &Analyzer{
+	Name: "nodeps",
+	Doc:  "non-test files may import only the standard library and module-internal packages",
+	Run:  runNoDeps,
+}
+
+func runNoDeps(p *Pass) {
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if isStdlibPath(path) || inModule(path, p.ModulePath) {
+				continue
+			}
+			p.Reportf(imp.Pos(),
+				"import of external dependency %q; this module is stdlib-only by design", path)
+		}
+	}
+}
+
+// isStdlibPath applies the toolchain's convention: stdlib import paths
+// have no dot in their first path element.
+func isStdlibPath(path string) bool {
+	first, _, _ := strings.Cut(path, "/")
+	return !strings.Contains(first, ".")
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// NondeterminismAnalyzer forbids ambient sources of nondeterminism in
+// internal/ non-test code. Reproducibility of EXPERIMENTS.md — and the
+// distribution-preservation guarantee of stochastic verification (paper
+// Theorems 4.2/4.3) — requires every random draw to flow through the
+// seeded, splittable tensor.RNG, and every wall-clock quantity to be an
+// injected parameter of the cluster/gpu cost models rather than a live
+// clock read.
+var NondeterminismAnalyzer = &Analyzer{
+	Name: "nondeterminism",
+	Doc: "forbid math/rand imports and time.Now/os.Getenv/os.LookupEnv uses in internal/ " +
+		"non-test code; randomness must route through tensor.RNG and wall-clock values " +
+		"must be injected parameters",
+	Run: runNondeterminism,
+}
+
+func runNondeterminism(p *Pass) {
+	if !p.InInternal() {
+		return
+	}
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp.Pos(),
+					"import of %s in internal/ code: route randomness through the seeded tensor.RNG", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() + "." + sel.Sel.Name {
+			case "time.Now":
+				p.Reportf(sel.Pos(),
+					"time.Now in internal/ code: wall-clock quantities must be injected parameters (the cluster/gpu cost models price simulated time)")
+			case "os.Getenv", "os.LookupEnv":
+				p.Reportf(sel.Pos(),
+					"os.%s in internal/ code: configuration must arrive through explicit parameters, not ambient environment", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// PanicMsgAnalyzer enforces the repository's panic-message convention in
+// internal/ packages: every panic carries a string message prefixed with
+// the package name ("tree: ...", "tensor: ..."), so a panic escaping the
+// engine immediately names the subsystem that raised it.
+var PanicMsgAnalyzer = &Analyzer{
+	Name: "panicmsg",
+	Doc: "every panic in internal/ must carry a \"<pkg>: \"-prefixed string message " +
+		"(a literal, a literal-led concatenation, or fmt.Sprintf/fmt.Errorf with a " +
+		"literal-led format)",
+	Run: runPanicMsg,
+}
+
+func runPanicMsg(p *Pass) {
+	if !p.InInternal() {
+		return
+	}
+	prefix := p.Pkg.Name() + ": "
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, ok := p.Info.Uses[id].(*types.Builtin); !ok {
+				return true // a shadowing local named panic
+			}
+			if len(call.Args) != 1 || !strings.HasPrefix(leadingLiteral(p, call.Args[0]), prefix) {
+				p.Reportf(call.Pos(),
+					"panic message must be a string starting with %q (repo convention; wrap errors as panic(%q+err.Error()))",
+					prefix, prefix)
+			}
+			return true
+		})
+	}
+}
+
+// leadingLiteral returns the leftmost string-literal content of an
+// expression that produces a panic message: a string literal, a
+// concatenation led by one, or a fmt.Sprintf/fmt.Errorf call whose format
+// is one. It returns "" when no leading literal is statically visible.
+func leadingLiteral(p *Pass, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return leadingLiteral(p, e.X)
+	case *ast.BasicLit:
+		s, err := strconv.Unquote(e.Value)
+		if err != nil {
+			return ""
+		}
+		return s
+	case *ast.BinaryExpr:
+		return leadingLiteral(p, e.X)
+	case *ast.CallExpr:
+		if len(e.Args) == 0 {
+			return ""
+		}
+		sel, ok := e.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return ""
+		}
+		fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return ""
+		}
+		switch fn.FullName() {
+		case "fmt.Sprintf", "fmt.Errorf":
+			return leadingLiteral(p, e.Args[0])
+		}
+	}
+	return ""
+}

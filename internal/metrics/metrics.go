@@ -86,6 +86,7 @@ func CDF(xs []float64) []CDFPoint {
 	var out []CDFPoint
 	n := float64(len(sorted))
 	for i := 0; i < len(sorted); i++ {
+		//lint:ignore floateq deduping identical sorted samples needs exact equality; a tolerance would merge distinct CDF points
 		if i+1 < len(sorted) && sorted[i+1] == sorted[i] {
 			continue
 		}

@@ -106,6 +106,7 @@ func nucleus(probs []float32, p float64) []float32 {
 		}
 	}
 	sort.Slice(order, func(a, b int) bool {
+		//lint:ignore floateq exact compare yields a deterministic total order; a tolerance would break transitivity
 		if order[a].v != order[b].v {
 			return order[a].v > order[b].v
 		}

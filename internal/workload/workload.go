@@ -22,7 +22,9 @@
 package workload
 
 import (
+	"fmt"
 	"math"
+	"strings"
 
 	"specinfer/internal/tensor"
 )
@@ -68,14 +70,30 @@ func Datasets() []Dataset {
 	}
 }
 
-// DatasetByName returns the named dataset, or panics.
-func DatasetByName(name string) Dataset {
-	for _, d := range Datasets() {
+// LookupDataset returns the named dataset, or an error naming the valid
+// choices. CLI front-ends should use it on user-supplied names so a typo
+// produces a clean error instead of a panic.
+func LookupDataset(name string) (Dataset, error) {
+	all := Datasets()
+	names := make([]string, len(all))
+	for i, d := range all {
 		if d.Name == name {
-			return d
+			return d, nil
 		}
+		names[i] = d.Name
 	}
-	panic("workload: unknown dataset " + name)
+	return Dataset{}, fmt.Errorf("workload: unknown dataset %q (valid: %s)", name, strings.Join(names, "|"))
+}
+
+// DatasetByName returns the named dataset, or panics. It is the wrapper
+// for internal callers holding trusted names; user input goes through
+// LookupDataset.
+func DatasetByName(name string) Dataset {
+	d, err := LookupDataset(name)
+	if err != nil {
+		panic("workload: unknown dataset " + name)
+	}
+	return d
 }
 
 // Markov is the ground-truth text process. Successor distributions are

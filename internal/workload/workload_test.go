@@ -2,6 +2,7 @@ package workload
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"specinfer/internal/tensor"
@@ -39,6 +40,18 @@ func TestDatasetByName(t *testing.T) {
 		}
 	}()
 	DatasetByName("nope")
+}
+
+func TestLookupDataset(t *testing.T) {
+	d, err := LookupDataset("WebQA")
+	if err != nil || d.Name != "WebQA" {
+		t.Fatalf("LookupDataset(WebQA) = %v, %v", d.Name, err)
+	}
+	if _, err := LookupDataset("nope"); err == nil {
+		t.Fatal("unknown dataset must return an error")
+	} else if msg := err.Error(); !strings.Contains(msg, `"nope"`) || !strings.Contains(msg, "Alpaca") {
+		t.Fatalf("error should name the input and the valid choices, got %q", msg)
+	}
 }
 
 func TestMarkovDeterministic(t *testing.T) {
