@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint
+.PHONY: check fmt vet build test race lint bench benchsmoke
 
-check: fmt vet build race lint
+check: fmt vet build race lint benchsmoke
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -25,3 +25,14 @@ race:
 
 lint:
 	$(GO) run ./cmd/specinferlint ./...
+
+# One-iteration pass over the perf microbenchmarks: catches bit-rot in the
+# benchmark drivers without paying for a full measurement run.
+benchsmoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkForward|BenchmarkEngineIteration' -benchtime 1x .
+
+# Full measurement run with a pinned benchtime; writes BENCH_PR2.json
+# (benchmark -> ns/op, ns/token, allocs/op, plus batched-vs-reference
+# speedups) at the repo root.
+bench:
+	$(GO) run ./cmd/perfbench -benchtime 0.5s -out BENCH_PR2.json

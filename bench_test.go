@@ -124,3 +124,26 @@ func metricName(s string) string {
 	r := strings.NewReplacer(" ", "-", "(", "", ")", "")
 	return r.Replace(s)
 }
+
+// BenchmarkForward runs the PR 2 forward-pass microbenchmarks: batched vs
+// pre-batching reference for prefill, incremental decode, and tree
+// verification at widths 1–5. cmd/perfbench renders the same suite as
+// machine-readable JSON with derived speedups.
+func BenchmarkForward(b *testing.B) {
+	for _, pb := range bench.PerfSuite() {
+		if strings.HasPrefix(pb.Name, "forward/") {
+			b.Run(strings.TrimPrefix(pb.Name, "forward/"), pb.Run)
+		}
+	}
+}
+
+// BenchmarkEngineIteration runs the continuous-batching engine loop at
+// batch sizes 1–16 on the transformer substrate (parallel worker pool),
+// plus the serial pre-batching baseline at batch 8.
+func BenchmarkEngineIteration(b *testing.B) {
+	for _, pb := range bench.PerfSuite() {
+		if strings.HasPrefix(pb.Name, "engine/") {
+			b.Run(strings.TrimPrefix(pb.Name, "engine/"), pb.Run)
+		}
+	}
+}

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"text/tabwriter"
@@ -28,7 +30,38 @@ func main() {
 	only := flag.String("only", "", "render a single experiment")
 	csvDir := flag.String("csv", "", "also write one CSV per experiment into this directory")
 	dataset := flag.String("dataset", "", "restrict the dataset sweeps (tables 1-3, fig9) to one dataset: Alpaca|CP|WebQA|CIP|PIQA")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() { _ = f.Close() }()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer func() { _ = f.Close() }()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	scale := 1
 	if *quick {

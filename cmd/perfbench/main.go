@@ -1,0 +1,121 @@
+// Command perfbench runs the PR 2 performance microbenchmark suite
+// (internal/bench.PerfSuite: batched vs reference forward passes, engine
+// iteration at several batch sizes) and writes a machine-readable JSON
+// report with per-benchmark ns/op, ns/token, and allocs/op plus the
+// derived old-vs-new speedups. `make bench` pins the benchtime and writes
+// BENCH_PR2.json at the repo root.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"specinfer/internal/bench"
+)
+
+// Result is the measurement for one benchmark.
+type Result struct {
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_op"`
+	NsPerToken  float64 `json:"ns_token"`
+	AllocsPerOp uint64  `json:"allocs_op"`
+	BytesPerOp  uint64  `json:"bytes_op"`
+}
+
+// Speedup compares a batched benchmark against its reference twin.
+type Speedup struct {
+	Batched        string  `json:"batched"`
+	Reference      string  `json:"reference"`
+	TimeSpeedup    float64 `json:"time_speedup"`
+	AllocReduction float64 `json:"alloc_reduction"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Benchtime  string             `json:"benchtime"`
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Benchmarks map[string]Result  `json:"benchmarks"`
+	Speedups   map[string]Speedup `json:"speedups"`
+}
+
+func main() {
+	benchtime := flag.String("benchtime", "0.3s", "per-benchmark run time (test.benchtime syntax, e.g. 0.3s or 10x)")
+	out := flag.String("out", "BENCH_PR2.json", "output JSON path")
+	testing.Init()
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+
+	rep := Report{
+		Benchtime:  *benchtime,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: map[string]Result{},
+		Speedups:   map[string]Speedup{},
+	}
+	suite := bench.PerfSuite()
+	for _, pb := range suite {
+		r := testing.Benchmark(pb.Run)
+		nsOp := float64(r.T.Nanoseconds()) / float64(r.N)
+		rep.Benchmarks[pb.Name] = Result{
+			Iterations:  r.N,
+			NsPerOp:     nsOp,
+			NsPerToken:  nsOp / pb.TokensPerOp,
+			AllocsPerOp: uint64(r.AllocsPerOp()),
+			BytesPerOp:  uint64(r.AllocedBytesPerOp()),
+		}
+		fmt.Printf("%-32s %10d ns/op  %10.0f ns/token  %7d allocs/op\n",
+			pb.Name, int64(nsOp), nsOp/pb.TokensPerOp, r.AllocsPerOp())
+	}
+
+	// Pair every batched benchmark with its reference twin.
+	for _, pb := range suite {
+		var ref string
+		switch {
+		case strings.HasSuffix(pb.Name, "/batched"):
+			ref = strings.TrimSuffix(pb.Name, "/batched") + "/ref"
+		case strings.HasSuffix(pb.Name, "/parallel"):
+			ref = strings.TrimSuffix(pb.Name, "/parallel") + "/serial-ref"
+		default:
+			continue
+		}
+		b, okB := rep.Benchmarks[pb.Name]
+		r, okR := rep.Benchmarks[ref]
+		if !okB || !okR {
+			continue
+		}
+		key := strings.TrimSuffix(strings.TrimSuffix(pb.Name, "/batched"), "/parallel")
+		sp := Speedup{Batched: pb.Name, Reference: ref}
+		if b.NsPerOp > 0 {
+			sp.TimeSpeedup = r.NsPerOp / b.NsPerOp
+		}
+		if b.AllocsPerOp > 0 {
+			sp.AllocReduction = float64(r.AllocsPerOp) / float64(b.AllocsPerOp)
+		}
+		rep.Speedups[key] = sp
+		fmt.Printf("%-32s %.2fx time, %.2fx allocs vs %s\n", key, sp.TimeSpeedup, sp.AllocReduction, ref)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}

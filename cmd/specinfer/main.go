@@ -16,6 +16,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"specinfer/internal/bench"
 	"specinfer/internal/cluster"
@@ -46,6 +49,9 @@ func main() {
 		ssms       = flag.Int("ssms", 1, "SSM pool size (merge-based speculation if >1)")
 		seed       = flag.Uint64("seed", 1, "engine seed")
 		showText   = flag.Bool("text", true, "print generations as pseudo-text")
+		workers    = flag.Int("workers", 0, "request-step worker pool size, 0 = GOMAXPROCS")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the serving run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	)
 	flag.Parse()
 
@@ -62,6 +68,7 @@ func main() {
 		SeqDepth: *depth,
 		MaxBatch: *batch,
 		Seed:     *seed,
+		Workers:  *workers,
 	}
 	if *stochastic {
 		cfg.Sample = sampling.Config{
@@ -105,7 +112,40 @@ func main() {
 		os.Exit(1)
 	}
 	trace := pair.Trace(*requests, *gen)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() { _ = f.Close() }()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	start := time.Now()
 	results, iters := eng.Run(trace)
+	elapsed := time.Since(start)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
 
 	fmt.Printf("SpecInfer-Go — %s on %s, %d requests, batch %d, %s decoding\n",
 		cfg.Mode, ds.Name, *requests, *batch, cfg.Sample.Mode)
@@ -128,6 +168,8 @@ func main() {
 	}
 	fmt.Printf("\ntotal: %d tokens in %d steps (%.2f tokens/step)\n",
 		totalTokens, totalSteps, float64(totalTokens)/float64(totalSteps))
+	fmt.Printf("wall clock: %d tokens in %.3fs — %.0f tokens/sec (workers=%d)\n",
+		totalTokens, elapsed.Seconds(), float64(totalTokens)/elapsed.Seconds(), cfg.Workers)
 
 	// Price the run on the paper's LLaMA-7B single-A10 deployment.
 	rep := cluster.Simulate(cluster.Deployment{

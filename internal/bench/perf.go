@@ -1,0 +1,233 @@
+package bench
+
+// Performance microbenchmarks for PR 2's batched forward path and
+// parallel engine loop. Unlike the table/figure drivers above, these
+// measure wall-clock cost of the real transformer substrate — the paper's
+// quantity of interest for tree-based verification is ns per verified
+// token, so every driver reports ns/token alongside the standard ns/op
+// and allocs/op.
+//
+// Each batched benchmark has a -ref twin that runs the pre-batching
+// scalar path (transformer.Model.Reference) or the serial engine loop
+// (Workers=1 + reference sessions), so one run of the suite yields the
+// old-vs-new speedups directly. The drivers live here, not in a _test.go
+// file, so bench_test.go and cmd/perfbench share them.
+
+import (
+	"sync"
+	"testing"
+
+	"specinfer/internal/core"
+	"specinfer/internal/model"
+	"specinfer/internal/sampling"
+	"specinfer/internal/tensor"
+	"specinfer/internal/transformer"
+	"specinfer/internal/tree"
+	"specinfer/internal/workload"
+)
+
+// PerfBenchmark is one microbenchmark of the perf suite.
+type PerfBenchmark struct {
+	Name string
+	// TokensPerOp is how many tokens one benchmark op processes
+	// (forward passes: tokens in the pass; engine: tokens committed).
+	TokensPerOp float64
+	Run         func(b *testing.B)
+}
+
+const (
+	perfPromptLen = 32
+	perfTreeDepth = 8
+	perfGenLen    = 16
+)
+
+var (
+	perfOnce sync.Once
+	perfLLM  *transformer.Model
+	perfSSM  *transformer.Model
+)
+
+func perfModels() (*transformer.Model, *transformer.Model) {
+	perfOnce.Do(func() {
+		perfLLM = transformer.New(transformer.Config{
+			Name: "perf-LLM", Vocab: 256, Hidden: 64, Heads: 4, FFN: 160,
+			Layers: 4, Seed: 61,
+		})
+		perfSSM = transformer.New(transformer.Config{
+			Name: "perf-SSM", Vocab: 256, Hidden: 32, Heads: 4, FFN: 64,
+			Layers: 2, Seed: 62,
+		})
+	})
+	return perfLLM, perfSSM
+}
+
+func perfPrompt(n int) []model.Token {
+	rng := tensor.NewRNG(8080)
+	out := make([]model.Token, n)
+	for i := range out {
+		out[i] = rng.Intn(256)
+	}
+	return out
+}
+
+// perfTree builds a width-w speculation tree: w branches from the root,
+// each extended to perfTreeDepth tokens (1 + w*perfTreeDepth nodes),
+// mirroring §4.2's expansion-based construction.
+func perfTree(w int) *tree.Tree {
+	rng := tensor.NewRNG(9090 + uint64(w))
+	tr := tree.New(rng.Intn(256))
+	for b := 0; b < w; b++ {
+		u := tr.Root()
+		for d := 0; d < perfTreeDepth; d++ {
+			tok := rng.Intn(256)
+			if c := tr.ChildWithToken(u, tok); c != -1 {
+				u = c
+				continue
+			}
+			u = tr.AddChild(u, tok, 1, 0)
+		}
+	}
+	return tr
+}
+
+// session opens an LLM session on the requested path.
+func perfSession(reference bool) model.Session {
+	llm, _ := perfModels()
+	if reference {
+		return llm.Reference().NewSession()
+	}
+	return llm.NewSession()
+}
+
+func prefillBench(reference bool) func(*testing.B) {
+	return func(b *testing.B) {
+		llm, _ := perfModels()
+		m := model.Model(llm)
+		if reference {
+			m = llm.Reference()
+		}
+		prompt := perfPrompt(perfPromptLen)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.NewSession().Prefill(prompt)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/perfPromptLen, "ns/token")
+	}
+}
+
+func decodeBench(reference bool) func(*testing.B) {
+	return func(b *testing.B) {
+		prompt := perfPrompt(perfPromptLen)
+		rng := tensor.NewRNG(7)
+		s := perfSession(reference)
+		s.Prefill(prompt)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Re-prefill periodically so the KV context — and with it the
+			// per-decode attention cost — stays bounded as b.N grows.
+			if s.Len() >= perfPromptLen+64 {
+				b.StopTimer()
+				s = perfSession(reference)
+				s.Prefill(prompt)
+				b.StartTimer()
+			}
+			s.Decode(rng.Intn(256))
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/token")
+	}
+}
+
+func treeBench(width int, reference bool) func(*testing.B) {
+	return func(b *testing.B) {
+		s := perfSession(reference)
+		s.Prefill(perfPrompt(perfPromptLen))
+		tr := perfTree(width)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// DecodeTree without Accept: the cache never grows, so every
+			// iteration verifies the same tree at the same context length.
+			s.DecodeTree(tr)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(tr.Len()), "ns/token")
+	}
+}
+
+func engineBench(batch int, serialRef bool) func(*testing.B) {
+	return func(b *testing.B) {
+		llm, ssm := perfModels()
+		var llmM, ssmM model.Model = llm, ssm
+		workers := 0
+		if serialRef {
+			llmM, ssmM = llm.Reference(), ssm.Reference()
+			workers = 1
+		}
+		rng := tensor.NewRNG(5150)
+		reqs := make([]workload.Request, batch)
+		for i := range reqs {
+			p := make([]model.Token, 16)
+			for j := range p {
+				p[j] = rng.Intn(256)
+			}
+			reqs[i] = workload.Request{ID: i, Prompt: p, MaxNewTok: perfGenLen}
+		}
+		cfg := core.Config{
+			Mode: core.TreeSpec, LLM: llmM, SSMs: []model.Model{ssmM},
+			Sample: sampling.GreedyConfig(), Seed: 17,
+			MaxBatch: batch, Workers: workers,
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e, err := core.NewEngine(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e.Run(reqs)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(batch*perfGenLen), "ns/token")
+	}
+}
+
+// PerfSuite returns the full microbenchmark suite: batched vs reference
+// forward passes (prefill, decode, tree verification at widths 1–5) and
+// the engine iteration loop at batch sizes 1–16, plus the serial
+// pre-batching engine baseline at batch 8.
+func PerfSuite() []PerfBenchmark {
+	var out []PerfBenchmark
+	add := func(name string, tokens float64, fn func(*testing.B)) {
+		out = append(out, PerfBenchmark{Name: name, TokensPerOp: tokens, Run: fn})
+	}
+	add("forward/prefill32/batched", perfPromptLen, prefillBench(false))
+	add("forward/prefill32/ref", perfPromptLen, prefillBench(true))
+	add("forward/decode/batched", 1, decodeBench(false))
+	add("forward/decode/ref", 1, decodeBench(true))
+	for w := 1; w <= 5; w++ {
+		n := float64(perfTree(w).Len())
+		add(perfTreeName(w, false), n, treeBench(w, false))
+		add(perfTreeName(w, true), n, treeBench(w, true))
+	}
+	for _, bs := range []int{1, 4, 8, 16} {
+		add(perfEngineName(bs, false), float64(bs*perfGenLen), engineBench(bs, false))
+	}
+	add(perfEngineName(8, true), float64(8*perfGenLen), engineBench(8, true))
+	return out
+}
+
+func perfTreeName(w int, reference bool) string {
+	s := "forward/tree/w" + string(rune('0'+w)) + "/batched"
+	if reference {
+		s = "forward/tree/w" + string(rune('0'+w)) + "/ref"
+	}
+	return s
+}
+
+func perfEngineName(bs int, serialRef bool) string {
+	names := map[int]string{1: "bs1", 4: "bs4", 8: "bs8", 16: "bs16"}
+	if serialRef {
+		return "engine/iter/" + names[bs] + "/serial-ref"
+	}
+	return "engine/iter/" + names[bs] + "/parallel"
+}

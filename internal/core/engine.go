@@ -9,6 +9,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"specinfer/internal/model"
 	"specinfer/internal/sampling"
@@ -62,6 +65,15 @@ type Config struct {
 	// MaxBatch bounds the number of concurrently served requests
 	// (continuous batching slots); defaults to 8.
 	MaxBatch int
+	// Workers bounds the worker pool that steps the active requests of an
+	// iteration concurrently (the data-parallel request loop of §5: each
+	// request's SSM speculation + LLM tree verification is independent of
+	// every other's). 0 means GOMAXPROCS; 1 forces serial stepping.
+	// Output is bit-identical for every setting: per-request RNG streams
+	// are split from Seed, sessions are per-request, and results are
+	// written to slot-indexed arrays, so no observable state depends on
+	// goroutine interleaving.
+	Workers int
 	// EOS terminates generation when sampled. Zero or negative disables
 	// (token id 0 therefore cannot serve as EOS; the synthetic workloads
 	// have no natural EOS and the benchmarks run with it disabled, like
@@ -111,6 +123,9 @@ func (c Config) withDefaults() Config {
 func (c Config) validate() error {
 	if c.LLM == nil {
 		return fmt.Errorf("core: config requires an LLM")
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: negative Workers %d", c.Workers)
 	}
 	if c.Mode != Incremental && len(c.SSMs) == 0 {
 		return fmt.Errorf("core: %v mode requires at least one SSM", c.Mode)
@@ -243,20 +258,7 @@ func (e *Engine) Run(reqs []workload.Request) ([]RequestResult, []IterationRecor
 			active = append(active, st)
 		}
 
-		rec := IterationRecord{BatchSize: len(active)}
-		if e.cfg.Mode != Incremental {
-			rec.SpecSteps = e.specDepth()
-		}
-		for _, st := range active {
-			sh := e.step(st)
-			rec.ReqIDs = append(rec.ReqIDs, st.req.ID)
-			rec.TreeNodes = append(rec.TreeNodes, sh.nodes)
-			rec.TreeLeaves = append(rec.TreeLeaves, sh.leaves)
-			rec.TreePathPositions = append(rec.TreePathPositions, sh.pathPositions)
-			rec.Committed = append(rec.Committed, sh.committed)
-			rec.CtxLens = append(rec.CtxLens, st.llm.Len())
-		}
-		iters = append(iters, rec)
+		iters = append(iters, e.runIteration(active))
 
 		// Retire finished requests.
 		var still []*reqState
@@ -270,6 +272,61 @@ func (e *Engine) Run(reqs []workload.Request) ([]RequestResult, []IterationRecor
 		active = still
 	}
 	return results, iters
+}
+
+// runIteration steps every active request once and assembles the
+// iteration record. Requests are stepped by a bounded worker pool
+// (Config.Workers); each worker claims slots from an atomic counter and
+// writes its result to the claimed slot, so the record — and every other
+// output — is independent of scheduling order. Per-request state (LLM
+// session, speculator sessions, RNG stream) is confined to one worker at
+// a time, and the shared models are read-only during serving, which keeps
+// the loop race-clean (the engine tests run it under -race).
+func (e *Engine) runIteration(active []*reqState) IterationRecord {
+	rec := IterationRecord{BatchSize: len(active)}
+	if e.cfg.Mode != Incremental {
+		rec.SpecSteps = e.specDepth()
+	}
+	shapes := make([]stepShape, len(active))
+	nw := e.cfg.Workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > len(active) {
+		nw = len(active)
+	}
+	if nw <= 1 {
+		for i, st := range active {
+			shapes[i] = e.step(st)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(nw)
+		for w := 0; w < nw; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(active) {
+						return
+					}
+					shapes[i] = e.step(active[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, st := range active {
+		sh := shapes[i]
+		rec.ReqIDs = append(rec.ReqIDs, st.req.ID)
+		rec.TreeNodes = append(rec.TreeNodes, sh.nodes)
+		rec.TreeLeaves = append(rec.TreeLeaves, sh.leaves)
+		rec.TreePathPositions = append(rec.TreePathPositions, sh.pathPositions)
+		rec.Committed = append(rec.Committed, sh.committed)
+		rec.CtxLens = append(rec.CtxLens, st.llm.Len())
+	}
+	return rec
 }
 
 func (e *Engine) specDepth() int {

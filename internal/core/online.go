@@ -80,19 +80,7 @@ func (e *Engine) RunOnline(reqs []TimedRequest, pricer IterationPricer) ([]Onlin
 			continue
 		}
 
-		rec := IterationRecord{BatchSize: len(active)}
-		if e.cfg.Mode != Incremental {
-			rec.SpecSteps = e.specDepth()
-		}
-		for _, st := range active {
-			sh := e.step(st)
-			rec.ReqIDs = append(rec.ReqIDs, st.req.ID)
-			rec.TreeNodes = append(rec.TreeNodes, sh.nodes)
-			rec.TreeLeaves = append(rec.TreeLeaves, sh.leaves)
-			rec.TreePathPositions = append(rec.TreePathPositions, sh.pathPositions)
-			rec.Committed = append(rec.Committed, sh.committed)
-			rec.CtxLens = append(rec.CtxLens, st.llm.Len())
-		}
+		rec := e.runIteration(active)
 		iters = append(iters, rec)
 		clock += pricer(rec)
 

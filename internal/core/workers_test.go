@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"specinfer/internal/model"
+	"specinfer/internal/sampling"
+)
+
+// Determinism contract for the parallel iteration loop: every request owns
+// an independent RNG stream and a dedicated result slot, so the engine's
+// output must be byte-identical regardless of how many workers step the
+// batch — and across repeated invocations. A small MaxBatch forces
+// continuous-batching churn so slot recycling is exercised too.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	llm, ssm, reqs := testModels(t, 7, 40)
+	modes := []struct {
+		name string
+		mode Mode
+		ssms []model.Model
+	}{
+		{"incremental", Incremental, nil},
+		{"sequence", SequenceSpec, []model.Model{ssm}},
+		{"tree", TreeSpec, []model.Model{ssm}},
+	}
+	samples := []struct {
+		name string
+		cfg  sampling.Config
+	}{
+		{"greedy", sampling.GreedyConfig()},
+		{"stochastic", sampling.StochasticConfig()},
+	}
+	for _, md := range modes {
+		for _, sm := range samples {
+			t.Run(fmt.Sprintf("%s/%s", md.name, sm.name), func(t *testing.T) {
+				mk := func(workers int) Config {
+					return Config{
+						Mode: md.mode, LLM: llm, SSMs: md.ssms,
+						Sample: sm.cfg, Seed: 11, MaxBatch: 3, Workers: workers,
+					}
+				}
+				res1, it1 := run(t, mk(1), reqs)
+				res4, it4 := run(t, mk(4), reqs)
+				res4b, it4b := run(t, mk(4), reqs)
+				if !reflect.DeepEqual(res1, res4) {
+					t.Fatal("results differ between Workers=1 and Workers=4")
+				}
+				if !reflect.DeepEqual(it1, it4) {
+					t.Fatal("iteration records differ between Workers=1 and Workers=4")
+				}
+				if !reflect.DeepEqual(res4, res4b) {
+					t.Fatal("results differ across two identical Workers=4 runs")
+				}
+				if !reflect.DeepEqual(it4, it4b) {
+					t.Fatal("iteration records differ across two identical Workers=4 runs")
+				}
+			})
+		}
+	}
+}
+
+// Workers=0 must behave exactly like an explicit worker count: it defaults
+// to GOMAXPROCS but the output is worker-count independent by construction.
+func TestRunWorkersDefaultMatchesExplicit(t *testing.T) {
+	llm, ssm, reqs := testModels(t, 5, 32)
+	base := Config{
+		Mode: TreeSpec, LLM: llm, SSMs: []model.Model{ssm},
+		Sample: sampling.StochasticConfig(), Seed: 5, MaxBatch: 4,
+	}
+	def := base
+	res0, it0 := run(t, def, reqs)
+	one := base
+	one.Workers = 1
+	res1, it1 := run(t, one, reqs)
+	if !reflect.DeepEqual(res0, res1) {
+		t.Fatal("Workers=0 (default pool) output differs from Workers=1")
+	}
+	if !reflect.DeepEqual(it0, it1) {
+		t.Fatal("Workers=0 iteration records differ from Workers=1")
+	}
+}
+
+func TestNegativeWorkersRejected(t *testing.T) {
+	llm, _, _ := testModels(t, 1, 4)
+	_, err := NewEngine(Config{Mode: Incremental, LLM: llm, Sample: sampling.GreedyConfig(), Workers: -1})
+	if err == nil {
+		t.Fatal("expected error for negative Workers")
+	}
+}

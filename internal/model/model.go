@@ -53,6 +53,10 @@ type Session interface {
 	// root. The committed state is NOT advanced — call Accept with the
 	// verified tokens afterwards. This is SpecInfer's tree-based parallel
 	// decoding (§4.2).
+	//
+	// The returned distributions are freshly computed on every call, but
+	// implementations may retain (alias) them internally until the next
+	// commit to avoid re-copying; callers must treat them as read-only.
 	DecodeTree(t *tree.Tree) [][]float32
 
 	// Accept commits a sequence of verified tokens (excluding the tree

@@ -153,6 +153,124 @@ func MatMul(x *Matrix, w *Matrix, out *Matrix) {
 	wg.Wait()
 }
 
+// MatMulT computes out = X * W^T like MatMul, but splits work across the
+// OUTPUT columns (W's rows) instead of X's rows. This is the right split
+// for the transformer's forward path, where X holds a handful of token
+// activations (often just one) while W has hundreds of output rows: row
+// parallelism would cap the worker count at the token count, column
+// parallelism keeps every core busy even for single-token decode.
+//
+// Each output element is a full sequential Dot over the shared inner
+// dimension, so results are bit-identical to MatVec/MatMul regardless of
+// the split. The inner kernel register-blocks four output rows at a time:
+// the four accumulators are INDEPENDENT chains, each still summing its
+// own products in strictly increasing k — identical rounding to four
+// separate Dot calls — but interleaved so the CPU overlaps their FMA
+// latencies instead of stalling on one dependent chain. On a single core
+// this is where the batched path's wall-clock win comes from.
+func MatMulT(w *Matrix, x *Matrix, out *Matrix) {
+	if x.Cols != w.Cols {
+		panic(fmt.Sprintf("tensor: MatMulT inner dim mismatch %d vs %d", x.Cols, w.Cols))
+	}
+	if out.Rows != x.Rows || out.Cols != w.Rows {
+		panic("tensor: MatMulT out dims mismatch")
+	}
+	work := x.Rows * w.Rows * w.Cols
+	nw := 1
+	if work >= parallelThreshold && w.Rows > 1 {
+		nw = runtime.GOMAXPROCS(0)
+		if nw > w.Rows {
+			nw = w.Rows
+		}
+	}
+	if nw == 1 {
+		for i := 0; i < x.Rows; i++ {
+			matMulTChunk(w, x.Row(i), out.Row(i), 0, w.Rows)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (w.Rows + nw - 1) / nw
+	for s := 0; s < w.Rows; s += chunk {
+		e := s + chunk
+		if e > w.Rows {
+			e = w.Rows
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			for i := 0; i < x.Rows; i++ {
+				matMulTChunk(w, x.Row(i), out.Row(i), s, e)
+			}
+		}(s, e)
+	}
+	wg.Wait()
+}
+
+// matMulTChunk computes or[j] = Dot(w.Row(j), xr) for j in [s, e), four
+// rows per step. Chunk boundaries cannot affect results: every element is
+// an independent reduction. Row slices are clamped to len(xr) so the
+// compiler can hoist the bounds checks out of the inner loop.
+func matMulTChunk(w *Matrix, xr, or []float32, s, e int) {
+	n := len(xr)
+	j := s
+	for ; j+3 < e; j += 4 {
+		w0 := w.Row(j)[:n]
+		w1 := w.Row(j + 1)[:n]
+		w2 := w.Row(j + 2)[:n]
+		w3 := w.Row(j + 3)[:n]
+		var s0, s1, s2, s3 float32
+		for k := 0; k < n; k++ {
+			xk := xr[k]
+			s0 += w0[k] * xk
+			s1 += w1[k] * xk
+			s2 += w2[k] * xk
+			s3 += w3[k] * xk
+		}
+		or[j], or[j+1], or[j+2], or[j+3] = s0, s1, s2, s3
+	}
+	for ; j < e; j++ {
+		or[j] = Dot(w.Row(j), xr)
+	}
+}
+
+// DotRows4 computes out[i] = Dot(q, rows[i]) for every row, four rows per
+// step — the attention-score kernel: one query against a window of keys.
+// Like matMulTChunk, each score is an independent strictly-sequential
+// reduction, so results are bit-identical to per-row Dot calls while the
+// four chains overlap in the pipeline.
+func DotRows4(q []float32, rows [][]float32, out []float32) {
+	if len(rows) != len(out) {
+		panic("tensor: DotRows4 length mismatch")
+	}
+	n := len(q)
+	i := 0
+	for ; i+3 < len(rows); i += 4 {
+		r0, r1, r2, r3 := rows[i][:n], rows[i+1][:n], rows[i+2][:n], rows[i+3][:n]
+		var s0, s1, s2, s3 float32
+		for k := 0; k < n; k++ {
+			qk := q[k]
+			s0 += r0[k] * qk
+			s1 += r1[k] * qk
+			s2 += r2[k] * qk
+			s3 += r3[k] * qk
+		}
+		out[i], out[i+1], out[i+2], out[i+3] = s0, s1, s2, s3
+	}
+	for ; i < len(rows); i++ {
+		out[i] = Dot(rows[i], q)
+	}
+}
+
+// SoftmaxRows applies Softmax to every row of m in place. Each row is
+// processed exactly as a standalone Softmax call, so results are
+// bit-identical to the per-vector kernel.
+func SoftmaxRows(m *Matrix) {
+	for i := 0; i < m.Rows; i++ {
+		Softmax(m.Row(i))
+	}
+}
+
 // Softmax computes the softmax of x in place using the max-subtraction
 // trick for numerical stability. Entries equal to NegInf map to exactly 0.
 func Softmax(x []float32) {
@@ -182,6 +300,49 @@ func Softmax(x []float32) {
 	inv := float32(1.0 / sum)
 	for i := range x {
 		x[i] *= inv
+	}
+}
+
+// SoftmaxMasked is Softmax specialized for heavily masked inputs: entries
+// equal to NegInf skip the math.Exp call and are written as exactly 0.
+// Results are bit-identical to Softmax — a masked entry contributes
+// exp(-inf) = +0.0 to the float64 sum there, and adding +0.0 to a
+// nonnegative sum cannot change its bits (the unmasked max always
+// contributes exp(0) = 1, so the sum is strictly positive and never -0.0).
+// The batched tree-attention path uses this: under a topology mask most
+// score slots of a deep tree are NegInf, and exp dominates softmax cost.
+func SoftmaxMasked(x []float32) {
+	if len(x) == 0 {
+		return
+	}
+	maxv := x[0]
+	for _, v := range x[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	if math.IsInf(float64(maxv), -1) {
+		u := float32(1.0) / float32(len(x))
+		for i := range x {
+			x[i] = u
+		}
+		return
+	}
+	var sum float64
+	for i, v := range x {
+		if math.IsInf(float64(v), -1) {
+			x[i] = 0
+			continue
+		}
+		e := math.Exp(float64(v - maxv))
+		x[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1.0 / sum)
+	for i, v := range x {
+		if v != 0 {
+			x[i] = v * inv
+		}
 	}
 }
 
@@ -277,6 +438,61 @@ func Rope(vec []float32, pos int, theta float64) {
 		freq := math.Pow(theta, -float64(i)/float64(d))
 		angle := float64(pos) * freq
 		sin, cos := math.Sincos(angle)
+		a, b := float64(vec[i]), float64(vec[i+1])
+		vec[i] = float32(a*cos - b*sin)
+		vec[i+1] = float32(a*sin + b*cos)
+	}
+}
+
+// RopeTable caches Rope's per-position rotation coefficients. Rope spends
+// nearly all its time in math.Pow and math.Sincos, whose inputs depend
+// only on (theta, dim, pos) — never on the vector being rotated — so one
+// session can compute each position's sin/cos pairs once and replay them
+// for every layer, head, and token at that position. The cached values
+// are the float64 results of the exact same Pow/Sincos calls, and Apply
+// performs the identical float64 rotate, so outputs are bit-identical to
+// Rope. Not safe for concurrent use; give each session its own.
+type RopeTable struct {
+	theta    float64
+	dim      int
+	sin, cos [][]float64 // [pos][dim/2]
+}
+
+// NewRopeTable returns an empty cache for the given rotation parameters.
+func NewRopeTable(theta float64, dim int) *RopeTable {
+	if dim%2 != 0 {
+		panic("tensor: RopeTable requires even dimension")
+	}
+	return &RopeTable{theta: theta, dim: dim}
+}
+
+// Apply rotates vec exactly like Rope(vec, pos, theta), computing the
+// position's coefficients on first use. Negative positions bypass the
+// cache.
+func (t *RopeTable) Apply(vec []float32, pos int) {
+	if len(vec) != t.dim {
+		panic("tensor: RopeTable dimension mismatch")
+	}
+	if pos < 0 {
+		Rope(vec, pos, t.theta)
+		return
+	}
+	for pos >= len(t.sin) {
+		t.sin = append(t.sin, nil)
+		t.cos = append(t.cos, nil)
+	}
+	if t.sin[pos] == nil {
+		sins := make([]float64, t.dim/2)
+		coss := make([]float64, t.dim/2)
+		for i := 0; i < t.dim; i += 2 {
+			freq := math.Pow(t.theta, -float64(i)/float64(t.dim))
+			sins[i/2], coss[i/2] = math.Sincos(float64(pos) * freq)
+		}
+		t.sin[pos], t.cos[pos] = sins, coss
+	}
+	sins, coss := t.sin[pos], t.cos[pos]
+	for i := 0; i < t.dim; i += 2 {
+		sin, cos := sins[i/2], coss[i/2]
 		a, b := float64(vec[i]), float64(vec[i+1])
 		vec[i] = float32(a*cos - b*sin)
 		vec[i+1] = float32(a*sin + b*cos)

@@ -182,7 +182,10 @@ func (m *Model) Config() Config { return m.cfg }
 
 // NewSession implements model.Model.
 func (m *Model) NewSession() model.Session {
-	s := &Session{m: m}
+	s := &Session{m: m, scr: tensor.NewScratch()}
+	if m.cfg.Arch == ArchLLaMA {
+		s.rope = tensor.NewRopeTable(m.ropeTheta, m.cfg.headDim())
+	}
 	s.cacheK = make([][][]float32, m.cfg.Layers)
 	s.cacheV = make([][][]float32, m.cfg.Layers)
 	return s
@@ -193,7 +196,10 @@ func (m *Model) NewSession() model.Session {
 // can commit verified rows without recomputation.
 type Session struct {
 	m        *Model
-	cacheK   [][][]float32 // [layer][pos][hidden]
+	scr      *tensor.Scratch   // reusable forward-pass buffers (batched path)
+	rope     *tensor.RopeTable // cached rotation coefficients (batched path)
+	ref      bool              // use the scalar reference path (see reference.go)
+	cacheK   [][][]float32     // [layer][pos][hidden]
 	cacheV   [][][]float32
 	n        int       // committed tokens
 	lastDist []float32 // distribution after the last committed token
@@ -250,6 +256,13 @@ func (s *Session) Decode(tok model.Token) []float32 {
 // DecodeTree implements model.Session: tree-based parallel decoding. All
 // speculated nodes are processed in a single forward pass; the root's
 // distribution is the one already produced when its token was committed.
+//
+// The returned distributions are freshly allocated per call, but the
+// session retains references to them until the next commit (Accept,
+// Decode or Prefill) so Accept can serve the post-commit distribution
+// without recomputation; callers must treat them as read-only until then.
+// (Every in-repo consumer — sampling.Transform, the verifiers — copies
+// before mutating.)
 func (s *Session) DecodeTree(t *tree.Tree) [][]float32 {
 	if s.n == 0 {
 		panic("transformer: DecodeTree before Prefill")
@@ -283,20 +296,21 @@ func (s *Session) DecodeTree(t *tree.Tree) [][]float32 {
 	for i := 1; i < len(lin.Order); i++ {
 		out[lin.Order[i]] = dists[i-1]
 	}
-	// Retain scratch for Accept.
+	// Retain scratch for Accept. The retained distributions ALIAS the
+	// returned ones (fresh this call, copied exactly once out of the
+	// forward pass) instead of being re-cloned; see the method comment.
 	s.lastTree = t
 	s.treeK, s.treeV = k, v
 	s.treeDists = make([][]float32, t.Len())
-	s.treeDists[t.Root()] = out[t.Root()]
-	for i := 1; i < len(lin.Order); i++ {
-		s.treeDists[lin.Order[i]] = out[lin.Order[i]]
+	for _, id := range lin.Order {
+		s.treeDists[id] = out[id]
 	}
 	// Record lin index per node for row lookup in Accept.
 	s.treeLinIdx = make([]int, t.Len())
 	for i, id := range lin.Order {
 		s.treeLinIdx[id] = i
 	}
-	return cloneDists(out)
+	return out
 }
 
 // Accept implements model.Session: commits verified tokens. Tokens that
@@ -317,9 +331,13 @@ func (s *Session) Accept(tokens []model.Token) []float32 {
 				break
 			}
 			li := s.treeLinIdx[v]
+			// Copy the accepted rows out of the tree scratch: the batched
+			// forward lays all of a pass's K/V rows in one backing array,
+			// and aliasing a few accepted rows would pin the whole array
+			// (every rejected branch) in memory for the cache's lifetime.
 			for l := 0; l < s.m.cfg.Layers; l++ {
-				s.cacheK[l] = append(s.cacheK[l], s.treeK[l][li-1])
-				s.cacheV[l] = append(s.cacheV[l], s.treeV[l][li-1])
+				s.cacheK[l] = append(s.cacheK[l], cloneVec(s.treeK[l][li-1]))
+				s.cacheV[l] = append(s.cacheV[l], cloneVec(s.treeV[l][li-1]))
 			}
 			s.n++
 			s.lastDist = s.treeDists[v]
@@ -355,9 +373,29 @@ func (s *Session) commitRows(k, v [][][]float32) {
 // absolute positions. mask(i, j) reports whether new token i may attend
 // new token j; nil means ordinary causality among the new tokens (j <= i).
 // attendCache controls whether new tokens see the committed KV cache.
-// It returns the per-token next-token distributions plus the K/V rows of
-// the new tokens per layer (not committed).
+// It returns the per-token next-token distributions (fresh slices) plus
+// the K/V rows of the new tokens per layer (fresh, not committed).
 func (s *Session) forward(tokens []model.Token, positions []int, mask func(i, j int) bool, attendCache bool) (dists [][]float32, newK, newV [][][]float32) {
+	if s.ref {
+		return s.forwardReference(tokens, positions, mask, attendCache)
+	}
+	return s.forwardBatched(tokens, positions, mask, attendCache)
+}
+
+// forwardBatched is the token-batched forward pass (§4.2's "one pass over
+// the weights"): per layer it performs ONE projection matmul per weight
+// matrix over all new tokens, per-token/per-head attention under the
+// topology-aware mask, one batched MLP, and at the end one batched LM-head
+// projection with a row softmax. All intermediates live in the session's
+// scratch arena, so a pass performs O(layers) allocations instead of the
+// reference path's O(layers × tokens × heads).
+//
+// Bit-exactness: every matmul element is the same sequential Dot over the
+// same operands as the scalar reference, norms/softmaxes are applied
+// row-wise with the same kernels, and the attention loops are untouched —
+// so the outputs are float-for-float identical to forwardReference (the
+// golden tests assert this).
+func (s *Session) forwardBatched(tokens []model.Token, positions []int, mask func(i, j int) bool, attendCache bool) (dists [][]float32, newK, newV [][][]float32) {
 	cfg := s.m.cfg
 	nNew := len(tokens)
 	hd := cfg.headDim()
@@ -365,30 +403,54 @@ func (s *Session) forward(tokens []model.Token, positions []int, mask func(i, j 
 	if mask == nil {
 		mask = func(i, j int) bool { return j <= i }
 	}
+	scr := s.scr
+	if scr == nil {
+		scr = tensor.NewScratch()
+		s.scr = scr
+	}
 
-	// Activations per new token.
-	x := make([][]float32, nNew)
+	// Embed all new tokens into the activation matrix.
+	x := scr.Mat("x", nNew, cfg.Hidden)
 	for i, tok := range tokens {
 		if tok < 0 || tok >= cfg.Vocab {
 			panic(fmt.Sprintf("transformer: token %d out of vocab %d", tok, cfg.Vocab))
 		}
-		x[i] = cloneVec(s.m.embed.Row(tok))
+		xi := x.Row(i)
+		copy(xi, s.m.embed.Row(tok))
 		if cfg.Arch == ArchOPT {
 			if positions[i] >= cfg.MaxSeq {
 				panic(fmt.Sprintf("transformer: position %d exceeds MaxSeq %d", positions[i], cfg.MaxSeq))
 			}
-			tensor.Add(x[i], s.m.posEmbed.Row(positions[i]))
+			tensor.Add(xi, s.m.posEmbed.Row(positions[i]))
 		}
 	}
 
+	h1 := scr.Mat("h1", nNew, cfg.Hidden)
+	q := scr.Mat("q", nNew, cfg.Hidden)
+	attnOut := scr.Mat("attn", nNew, cfg.Hidden)
+	proj := scr.Mat("proj", nNew, cfg.Hidden)
+	gate := scr.Mat("gate", nNew, cfg.FFN)
+	up := scr.Mat("up", nNew, cfg.FFN)
+
+	// K/V rows outlive the pass (commitRows/Accept retain them in the KV
+	// cache), so they cannot live in the scratch arena: all layers' rows
+	// are laid out in two freshly allocated backing matrices, with
+	// per-layer Matrix views for the projection matmuls.
+	kAll := tensor.NewMatrix(cfg.Layers*nNew, cfg.Hidden)
+	vAll := tensor.NewMatrix(cfg.Layers*nNew, cfg.Hidden)
+	kvViews := make([]tensor.Matrix, 2*cfg.Layers)
+	kHead := make([][]float32, cfg.Layers*nNew)
+	vHead := make([][]float32, cfg.Layers*nNew)
 	newK = make([][][]float32, cfg.Layers)
 	newV = make([][][]float32, cfg.Layers)
-	h1 := make([]float32, cfg.Hidden)
-	q := make([]float32, cfg.Hidden)
-	attnOut := make([]float32, cfg.Hidden)
-	proj := make([]float32, cfg.Hidden)
-	gate := make([]float32, cfg.FFN)
-	up := make([]float32, cfg.FFN)
+	for l := 0; l < cfg.Layers; l++ {
+		for i := 0; i < nNew; i++ {
+			kHead[l*nNew+i] = kAll.Row(l*nNew + i)
+			vHead[l*nNew+i] = vAll.Row(l*nNew + i)
+		}
+		newK[l] = kHead[l*nNew : (l+1)*nNew]
+		newV[l] = vHead[l*nNew : (l+1)*nNew]
+	}
 
 	for l := 0; l < cfg.Layers; l++ {
 		lw := &s.m.layers[l]
@@ -397,31 +459,56 @@ func (s *Session) forward(tokens []model.Token, positions []int, mask func(i, j 
 		if attendCache {
 			nCached = len(cachedK)
 		}
-		kRows := make([][]float32, nNew)
-		vRows := make([][]float32, nNew)
-		// New tokens are processed in order; the topology guarantees a
-		// token only attends previously processed new tokens.
+		kRows, vRows := newK[l], newV[l]
+		kMat := &kvViews[2*l]
+		vMat := &kvViews[2*l+1]
+		*kMat = tensor.Matrix{Rows: nNew, Cols: cfg.Hidden, Data: kAll.Data[l*nNew*cfg.Hidden : (l+1)*nNew*cfg.Hidden]}
+		*vMat = tensor.Matrix{Rows: nNew, Cols: cfg.Hidden, Data: vAll.Data[l*nNew*cfg.Hidden : (l+1)*nNew*cfg.Hidden]}
+
+		// One QKV projection matmul over every new token. Within a layer a
+		// token's Q/K/V depend only on activations entering the layer, so
+		// batching the projections is schedule-equivalent to the reference
+		// path's per-token interleaving.
 		for i := 0; i < nNew; i++ {
-			s.m.norm(x[i], lw.attnNorm, lw.attnNormBias, h1)
-			tensor.MatVec(lw.wq, h1, q)
-			k := make([]float32, cfg.Hidden)
-			v := make([]float32, cfg.Hidden)
-			tensor.MatVec(lw.wk, h1, k)
-			tensor.MatVec(lw.wv, h1, v)
-			if cfg.Arch == ArchLLaMA {
+			s.m.norm(x.Row(i), lw.attnNorm, lw.attnNormBias, h1.Row(i))
+		}
+		tensor.MatMulT(lw.wq, h1, q)
+		tensor.MatMulT(lw.wk, h1, kMat)
+		tensor.MatMulT(lw.wv, h1, vMat)
+		if cfg.Arch == ArchLLaMA {
+			for i := 0; i < nNew; i++ {
+				qi, ki := q.Row(i), kRows[i]
 				for h := 0; h < cfg.Heads; h++ {
-					tensor.Rope(q[h*hd:(h+1)*hd], positions[i], s.m.ropeTheta)
-					tensor.Rope(k[h*hd:(h+1)*hd], positions[i], s.m.ropeTheta)
+					s.rope.Apply(qi[h*hd:(h+1)*hd], positions[i])
+					s.rope.Apply(ki[h*hd:(h+1)*hd], positions[i])
 				}
 			}
-			kRows[i], vRows[i] = k, v
+		}
 
-			// Attention per head over cached positions + allowed new ones.
+		// Attention per token and head over cached positions + allowed new
+		// ones. The topology guarantees a token only attends new tokens
+		// that precede it in the linearization. The cached segment is dense
+		// (every new token sees the whole committed context), so its scores
+		// go through the register-blocked DotRows4 kernel over per-head key
+		// views built once per layer; the raw dots are scaled in a separate
+		// pass, preserving the reference's dot-then-scale rounding exactly.
+		scoreBuf := scr.Floats("scores", nCached+nNew)
+		kViews := scr.Rows("kviews", nCached*cfg.Heads)
+		for h := 0; h < cfg.Heads; h++ {
+			for j := 0; j < nCached; j++ {
+				kViews[h*nCached+j] = cachedK[j][h*hd : (h+1)*hd]
+			}
+		}
+		for i := 0; i < nNew; i++ {
+			qi, oi := q.Row(i), attnOut.Row(i)
+			scores := scoreBuf[:nCached+i+1]
 			for h := 0; h < cfg.Heads; h++ {
-				qh := q[h*hd : (h+1)*hd]
-				scores := make([]float32, nCached+i+1)
-				for j := 0; j < nCached; j++ {
-					scores[j] = tensor.Dot(qh, cachedK[j][h*hd:(h+1)*hd]) * scale
+				qh := qi[h*hd : (h+1)*hd]
+				if nCached > 0 {
+					tensor.DotRows4(qh, kViews[h*nCached:(h+1)*nCached], scores[:nCached])
+					for j := 0; j < nCached; j++ {
+						scores[j] *= scale
+					}
 				}
 				for j := 0; j <= i; j++ {
 					if mask(i, j) {
@@ -430,8 +517,8 @@ func (s *Session) forward(tokens []model.Token, positions []int, mask func(i, j 
 						scores[nCached+j] = tensor.NegInf
 					}
 				}
-				tensor.Softmax(scores)
-				oh := attnOut[h*hd : (h+1)*hd]
+				tensor.SoftmaxMasked(scores)
+				oh := oi[h*hd : (h+1)*hd]
 				for d := 0; d < hd; d++ {
 					oh[d] = 0
 				}
@@ -446,39 +533,48 @@ func (s *Session) forward(tokens []model.Token, positions []int, mask func(i, j 
 					}
 				}
 			}
-			tensor.MatVec(lw.wo, attnOut, proj)
-			tensor.Add(x[i], proj)
-
-			s.m.norm(x[i], lw.mlpNorm, lw.mlpNormBias, h1)
-			if cfg.Arch == ArchOPT {
-				// Two-projection ReLU MLP.
-				tensor.MatVec(lw.wUp, h1, up)
-				tensor.ReLU(up)
-				tensor.MatVec(lw.wDown, up, proj)
-			} else {
-				// SwiGLU MLP.
-				tensor.MatVec(lw.wGate, h1, gate)
-				tensor.MatVec(lw.wUp, h1, up)
-				tensor.SiLU(gate)
-				for d := range gate {
-					gate[d] *= up[d]
-				}
-				tensor.MatVec(lw.wDown, gate, proj)
-			}
-			tensor.Add(x[i], proj)
 		}
-		newK[l], newV[l] = kRows, vRows
+		tensor.MatMulT(lw.wo, attnOut, proj)
+		for i := 0; i < nNew; i++ {
+			tensor.Add(x.Row(i), proj.Row(i))
+		}
+
+		// One batched MLP matmul per weight matrix.
+		for i := 0; i < nNew; i++ {
+			s.m.norm(x.Row(i), lw.mlpNorm, lw.mlpNormBias, h1.Row(i))
+		}
+		if cfg.Arch == ArchOPT {
+			// Two-projection ReLU MLP.
+			tensor.MatMulT(lw.wUp, h1, up)
+			tensor.ReLU(up.Data)
+			tensor.MatMulT(lw.wDown, up, proj)
+		} else {
+			// SwiGLU MLP.
+			tensor.MatMulT(lw.wGate, h1, gate)
+			tensor.MatMulT(lw.wUp, h1, up)
+			tensor.SiLU(gate.Data)
+			for d := range gate.Data {
+				gate.Data[d] *= up.Data[d]
+			}
+			tensor.MatMulT(lw.wDown, gate, proj)
+		}
+		for i := 0; i < nNew; i++ {
+			tensor.Add(x.Row(i), proj.Row(i))
+		}
 	}
 
-	dists = make([][]float32, nNew)
-	logits := make([]float32, cfg.Vocab)
-	normed := make([]float32, cfg.Hidden)
+	// Final norm + one batched LM-head projection + row softmax. The rows
+	// are copied exactly once out of the scratch arena into fresh slices
+	// owned by the caller.
 	for i := 0; i < nNew; i++ {
-		s.m.norm(x[i], s.m.finalNorm, s.m.finalNormBias, normed)
-		tensor.MatVec(s.m.lmHead, normed, logits)
-		d := cloneVec(logits)
-		tensor.Softmax(d)
-		dists[i] = d
+		s.m.norm(x.Row(i), s.m.finalNorm, s.m.finalNormBias, h1.Row(i))
+	}
+	logits := scr.Mat("logits", nNew, cfg.Vocab)
+	tensor.MatMulT(s.m.lmHead, h1, logits)
+	tensor.SoftmaxRows(logits)
+	dists = make([][]float32, nNew)
+	for i := range dists {
+		dists[i] = cloneVec(logits.Row(i))
 	}
 	return dists, newK, newV
 }
@@ -487,12 +583,4 @@ func cloneVec(v []float32) []float32 {
 	c := make([]float32, len(v))
 	copy(c, v)
 	return c
-}
-
-func cloneDists(d [][]float32) [][]float32 {
-	out := make([][]float32, len(d))
-	for i, v := range d {
-		out[i] = cloneVec(v)
-	}
-	return out
 }
