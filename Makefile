@@ -31,8 +31,8 @@ lint:
 benchsmoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkForward|BenchmarkEngineIteration' -benchtime 1x .
 
-# Full measurement run with a pinned benchtime; writes BENCH_PR2.json
-# (benchmark -> ns/op, ns/token, allocs/op, plus batched-vs-reference
-# speedups) at the repo root.
+# Full measurement run with a pinned benchtime; writes BENCH_PR3.json
+# (benchmark -> ns/op, ns/token, allocs/op, plus paged-vs-slice,
+# paged-vs-reference, and batched-vs-reference speedups) at the repo root.
 bench:
-	$(GO) run ./cmd/perfbench -benchtime 0.5s -out BENCH_PR2.json
+	$(GO) run ./cmd/perfbench -benchtime 1s -o BENCH_PR3.json

@@ -1,9 +1,11 @@
-// Command perfbench runs the PR 2 performance microbenchmark suite
-// (internal/bench.PerfSuite: batched vs reference forward passes, engine
-// iteration at several batch sizes) and writes a machine-readable JSON
-// report with per-benchmark ns/op, ns/token, and allocs/op plus the
-// derived old-vs-new speedups. `make bench` pins the benchtime and writes
-// BENCH_PR2.json at the repo root.
+// Command perfbench runs the performance microbenchmark suite
+// (internal/bench.PerfSuite: batched vs reference forward passes, the
+// long-context paged/slice/reference cache sweep, engine iteration at
+// several batch sizes) and writes a machine-readable JSON report with
+// per-benchmark ns/op, ns/token, and allocs/op plus the derived
+// old-vs-new speedups. The output path comes from the required -o flag;
+// `make bench` pins the benchtime and writes BENCH_PR3.json at the repo
+// root.
 package main
 
 import (
@@ -48,9 +50,13 @@ type Report struct {
 
 func main() {
 	benchtime := flag.String("benchtime", "0.3s", "per-benchmark run time (test.benchtime syntax, e.g. 0.3s or 10x)")
-	out := flag.String("out", "BENCH_PR2.json", "output JSON path")
+	out := flag.String("o", "", "output JSON path (required)")
 	testing.Init()
 	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "perfbench: -o <path> is required")
+		os.Exit(2)
+	}
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		fmt.Fprintln(os.Stderr, "perfbench:", err)
 		os.Exit(1)
@@ -80,32 +86,46 @@ func main() {
 			pb.Name, int64(nsOp), nsOp/pb.TokensPerOp, r.AllocsPerOp())
 	}
 
-	// Pair every batched benchmark with its reference twin.
+	// Pair every new-path benchmark with its baseline twin(s). The paged
+	// long-context benchmarks get two comparisons: vs the slice cache
+	// (isolates the layout change) and vs the scalar reference (cumulative).
 	for _, pb := range suite {
-		var ref string
+		type pairing struct{ key, ref string }
+		var pairs []pairing
 		switch {
 		case strings.HasSuffix(pb.Name, "/batched"):
-			ref = strings.TrimSuffix(pb.Name, "/batched") + "/ref"
+			base := strings.TrimSuffix(pb.Name, "/batched")
+			pairs = append(pairs, pairing{base, base + "/ref"})
 		case strings.HasSuffix(pb.Name, "/parallel"):
-			ref = strings.TrimSuffix(pb.Name, "/parallel") + "/serial-ref"
+			base := strings.TrimSuffix(pb.Name, "/parallel")
+			pairs = append(pairs, pairing{base, base + "/serial-ref"})
+		case strings.HasSuffix(pb.Name, "/paged"):
+			base := strings.TrimSuffix(pb.Name, "/paged")
+			pairs = append(pairs,
+				pairing{base + "/vs-slice", base + "/slice"},
+				pairing{base + "/vs-ref", base + "/ref"})
 		default:
 			continue
 		}
 		b, okB := rep.Benchmarks[pb.Name]
-		r, okR := rep.Benchmarks[ref]
-		if !okB || !okR {
+		if !okB {
 			continue
 		}
-		key := strings.TrimSuffix(strings.TrimSuffix(pb.Name, "/batched"), "/parallel")
-		sp := Speedup{Batched: pb.Name, Reference: ref}
-		if b.NsPerOp > 0 {
-			sp.TimeSpeedup = r.NsPerOp / b.NsPerOp
+		for _, p := range pairs {
+			r, okR := rep.Benchmarks[p.ref]
+			if !okR {
+				continue
+			}
+			sp := Speedup{Batched: pb.Name, Reference: p.ref}
+			if b.NsPerOp > 0 {
+				sp.TimeSpeedup = r.NsPerOp / b.NsPerOp
+			}
+			if b.AllocsPerOp > 0 {
+				sp.AllocReduction = float64(r.AllocsPerOp) / float64(b.AllocsPerOp)
+			}
+			rep.Speedups[p.key] = sp
+			fmt.Printf("%-40s %.2fx time, %.2fx allocs vs %s\n", p.key, sp.TimeSpeedup, sp.AllocReduction, p.ref)
 		}
-		if b.AllocsPerOp > 0 {
-			sp.AllocReduction = float64(r.AllocsPerOp) / float64(b.AllocsPerOp)
-		}
-		rep.Speedups[key] = sp
-		fmt.Printf("%-32s %.2fx time, %.2fx allocs vs %s\n", key, sp.TimeSpeedup, sp.AllocReduction, ref)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -14,6 +14,7 @@ package bench
 // file, so bench_test.go and cmd/perfbench share them.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -92,11 +93,29 @@ func perfTree(w int) *tree.Tree {
 
 // session opens an LLM session on the requested path.
 func perfSession(reference bool) model.Session {
-	llm, _ := perfModels()
 	if reference {
+		return perfSessionKind("ref")
+	}
+	return perfSessionKind("paged")
+}
+
+// perfSessionKind opens an LLM session on one of the three bit-identical
+// variants: "paged" (batched forward, head-major paged KV arena — the
+// default), "slice" (batched forward, PR 2 per-position slice cache), or
+// "ref" (scalar forward, slice cache). paged-vs-slice isolates the cache
+// layout; paged-vs-ref is the cumulative speedup over the pre-batching
+// baseline.
+func perfSessionKind(kind string) model.Session {
+	llm, _ := perfModels()
+	switch kind {
+	case "paged":
+		return llm.NewSession()
+	case "slice":
+		return llm.SliceCache().NewSession()
+	case "ref":
 		return llm.Reference().NewSession()
 	}
-	return llm.NewSession()
+	panic("bench: unknown session kind " + kind)
 }
 
 func prefillBench(reference bool) func(*testing.B) {
@@ -155,6 +174,38 @@ func treeBench(width int, reference bool) func(*testing.B) {
 	}
 }
 
+// longCtxBench measures decode-shaped work against a large committed
+// context — where the KV-cache read pattern dominates and the paged
+// head-major layout pays off. The session prefills ctxLen tokens once
+// (untimed), then every op verifies the same width-w tree without
+// accepting, so the context length is pinned for the whole measurement:
+// w=1 is an 8-token chain (incremental-decode shape), larger widths are
+// tree verification.
+func longCtxBench(ctxLen, width int, kind string) func(*testing.B) {
+	return func(b *testing.B) {
+		s := perfSessionKind(kind)
+		// Build the committed context the way a served request does: half
+		// arrives as the prompt in one prefill, half is generated token by
+		// token. Growing the cache one forward at a time is what scatters a
+		// per-position slice cache across the heap (a layer's consecutive
+		// rows end up ~2KB apart instead of adjacent); the paged arena
+		// packs rows identically no matter how they arrived, which is the
+		// effect these benchmarks exist to measure.
+		s.Prefill(perfPrompt(ctxLen / 2))
+		rng := tensor.NewRNG(4321)
+		for s.Len() < ctxLen {
+			s.Decode(rng.Intn(256))
+		}
+		tr := perfTree(width)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.DecodeTree(tr)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(tr.Len()), "ns/token")
+	}
+}
+
 func engineBench(batch int, serialRef bool) func(*testing.B) {
 	return func(b *testing.B) {
 		llm, ssm := perfModels()
@@ -192,9 +243,11 @@ func engineBench(batch int, serialRef bool) func(*testing.B) {
 }
 
 // PerfSuite returns the full microbenchmark suite: batched vs reference
-// forward passes (prefill, decode, tree verification at widths 1–5) and
-// the engine iteration loop at batch sizes 1–16, plus the serial
-// pre-batching engine baseline at batch 8.
+// forward passes (prefill, decode, tree verification at widths 1–5), the
+// long-context cache-layout sweep (committed context 128/512/1024 on the
+// paged, slice, and reference variants), and the engine iteration loop at
+// batch sizes 1–16, plus the serial pre-batching engine baseline at
+// batch 8.
 func PerfSuite() []PerfBenchmark {
 	var out []PerfBenchmark
 	add := func(name string, tokens float64, fn func(*testing.B)) {
@@ -208,6 +261,21 @@ func PerfSuite() []PerfBenchmark {
 		n := float64(perfTree(w).Len())
 		add(perfTreeName(w, false), n, treeBench(w, false))
 		add(perfTreeName(w, true), n, treeBench(w, true))
+	}
+	// Long-context sweep: the PR 3 cache-layout benchmarks. Every point
+	// runs on all three bit-identical variants so the report derives both
+	// paged-vs-slice (layout win) and paged-vs-ref (cumulative) speedups.
+	kinds := []string{"paged", "slice", "ref"}
+	chain := float64(perfTree(1).Len())
+	for _, c := range []int{128, 512, 1024} {
+		for _, kind := range kinds {
+			add(fmt.Sprintf("forward/longctx/c%d/decode8/%s", c, kind), chain,
+				longCtxBench(c, 1, kind))
+		}
+	}
+	w4 := float64(perfTree(4).Len())
+	for _, kind := range kinds {
+		add("forward/longctx/c1024/tree-w4/"+kind, w4, longCtxBench(1024, 4, kind))
 	}
 	for _, bs := range []int{1, 4, 8, 16} {
 		add(perfEngineName(bs, false), float64(bs*perfGenLen), engineBench(bs, false))

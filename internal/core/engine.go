@@ -197,6 +197,11 @@ type IterationRecord struct {
 	// CtxLens[i] is the committed context length of the i-th request at
 	// the END of the iteration (drives KV-read costs).
 	CtxLens []int
+	// CacheBytes[i] is the KV-cache storage (bytes) held by the i-th
+	// request's LLM session at the end of the iteration — the per-request
+	// accounting a memory-aware scheduler needs. 0 when the session does
+	// not report it (model.CacheSizer).
+	CacheBytes []int64
 	// SpecSteps is the number of SSM decoding levels used to build the
 	// trees (0 for incremental).
 	SpecSteps int
@@ -265,6 +270,7 @@ func (e *Engine) Run(reqs []workload.Request) ([]RequestResult, []IterationRecor
 		for _, st := range active {
 			if st.done {
 				results[st.pos] = st.res
+				release(st)
 			} else {
 				still = append(still, st)
 			}
@@ -325,8 +331,32 @@ func (e *Engine) runIteration(active []*reqState) IterationRecord {
 		rec.TreePathPositions = append(rec.TreePathPositions, sh.pathPositions)
 		rec.Committed = append(rec.Committed, sh.committed)
 		rec.CtxLens = append(rec.CtxLens, st.llm.Len())
+		rec.CacheBytes = append(rec.CacheBytes, sessionCacheBytes(st.llm))
 	}
 	return rec
+}
+
+// sessionCacheBytes reports a session's KV-cache footprint when it
+// implements model.CacheSizer, else 0.
+func sessionCacheBytes(s model.Session) int64 {
+	if cs, ok := s.(model.CacheSizer); ok {
+		return int64(cs.CacheBytes())
+	}
+	return 0
+}
+
+// release closes a retired request's sessions: the LLM session and the
+// speculator's SSM sessions free their KV pages immediately instead of
+// waiting for the garbage collector to notice the whole request state is
+// dead — under continuous batching the freed pages bound the engine's
+// peak cache footprint by the active batch, not the whole trace.
+func release(st *reqState) {
+	if c, ok := st.llm.(model.Closer); ok {
+		c.Close()
+	}
+	if c, ok := st.spec.(model.Closer); ok {
+		c.Close()
+	}
 }
 
 func (e *Engine) specDepth() int {

@@ -89,6 +89,7 @@ func (e *Engine) RunOnline(reqs []TimedRequest, pricer IterationPricer) ([]Onlin
 			if st.done {
 				results[st.pos].RequestResult = st.res
 				results[st.pos].Finish = clock
+				release(st)
 			} else {
 				still = append(still, st)
 			}

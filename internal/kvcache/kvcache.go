@@ -1,0 +1,170 @@
+// Package kvcache implements the paged, head-major KV-cache arena the
+// transformer substrate commits verified tokens into (SpecInfer §4.2: the
+// tree verifier shares one depth-first-ordered KV cache across all
+// speculated branches, so the committed prefix is a single append-only
+// sequence of positions).
+//
+// Layout: for every (layer, head) pair the arena keeps two page lists —
+// one for keys, one for values. A page is a fixed-size contiguous
+// []float32 holding PageRows consecutive positions of that head
+// (PageRows × HeadDim floats). Appending a position copies each head's
+// segment of the hidden-wide row into the current page; reading the
+// committed context for one head therefore touches at most
+// ceil(n/PageRows) contiguous slices instead of n heap-scattered
+// per-position rows. This head-major layout is what makes the verifier's
+// cached-segment attention stream sequentially: with H heads a
+// position-major row interleaves the heads, so a per-head score pass
+// reads only 1/H of every cache line it pulls.
+//
+// The arena is append-only between Release calls, matching the serving
+// engine's lifecycle: commits only ever extend the depth-first prefix,
+// and the whole cache is dropped page-wise when the request retires. It
+// is not safe for concurrent mutation; concurrent reads are safe once a
+// position has been advanced.
+package kvcache
+
+import "fmt"
+
+// DefaultPageRows is the default number of positions per page. 64
+// positions × a typical head dim keeps a page comfortably inside L1/L2
+// while amortizing the page-allocation bookkeeping to once per 64
+// commits per (layer, head).
+const DefaultPageRows = 64
+
+// Config describes the geometry of an Arena.
+type Config struct {
+	Layers, Heads, HeadDim int
+	// PageRows is the number of positions per page; 0 means
+	// DefaultPageRows.
+	PageRows int
+}
+
+// Arena is a paged, head-major KV cache. See the package comment for the
+// layout.
+type Arena struct {
+	layers, heads, hd, pageRows int
+	n                           int   // committed positions (uniform across layers)
+	fill                        []int // rows appended per layer, ahead of n during a commit
+	k, v                        [][][]float32
+}
+
+// New allocates an empty arena (no pages are allocated until the first
+// Append).
+func New(cfg Config) *Arena {
+	if cfg.Layers <= 0 || cfg.Heads <= 0 || cfg.HeadDim <= 0 {
+		panic(fmt.Sprintf("kvcache: invalid geometry %d layers, %d heads, headDim %d",
+			cfg.Layers, cfg.Heads, cfg.HeadDim))
+	}
+	if cfg.PageRows < 0 {
+		panic(fmt.Sprintf("kvcache: negative PageRows %d", cfg.PageRows))
+	}
+	if cfg.PageRows == 0 {
+		cfg.PageRows = DefaultPageRows
+	}
+	return &Arena{
+		layers: cfg.Layers, heads: cfg.Heads, hd: cfg.HeadDim,
+		pageRows: cfg.PageRows,
+		fill:     make([]int, cfg.Layers),
+		k:        make([][][]float32, cfg.Layers*cfg.Heads),
+		v:        make([][][]float32, cfg.Layers*cfg.Heads),
+	}
+}
+
+// Len reports the number of committed positions.
+func (a *Arena) Len() int { return a.n }
+
+// PageRows reports the positions-per-page of this arena.
+func (a *Arena) PageRows() int { return a.pageRows }
+
+// HeadDim reports the per-head vector length.
+func (a *Arena) HeadDim() int { return a.hd }
+
+// Append copies one position's head-interleaved K and V rows (head h at
+// [h*HeadDim:(h+1)*HeadDim]) into layer's pages. Every layer must receive
+// the same number of appended rows before the positions are made visible
+// with Advance; Append alone does not change Len.
+func (a *Arena) Append(layer int, kRow, vRow []float32) {
+	if layer < 0 || layer >= a.layers {
+		panic(fmt.Sprintf("kvcache: layer %d out of range (%d layers)", layer, a.layers))
+	}
+	if len(kRow) != a.heads*a.hd || len(vRow) != a.heads*a.hd {
+		panic(fmt.Sprintf("kvcache: row length %d/%d != heads*headDim %d",
+			len(kRow), len(vRow), a.heads*a.hd))
+	}
+	row := a.fill[layer]
+	a.fill[layer]++
+	page, off := row/a.pageRows, (row%a.pageRows)*a.hd
+	for h := 0; h < a.heads; h++ {
+		s := layer*a.heads + h
+		if page == len(a.k[s]) {
+			a.k[s] = append(a.k[s], make([]float32, a.pageRows*a.hd))
+			a.v[s] = append(a.v[s], make([]float32, a.pageRows*a.hd))
+		}
+		copy(a.k[s][page][off:off+a.hd], kRow[h*a.hd:(h+1)*a.hd])
+		copy(a.v[s][page][off:off+a.hd], vRow[h*a.hd:(h+1)*a.hd])
+	}
+}
+
+// Advance makes nNew appended positions visible to readers. It panics if
+// any layer has not received exactly nNew rows since the last Advance —
+// the invariant that keeps every layer's cache the same length.
+func (a *Arena) Advance(nNew int) {
+	if nNew < 0 {
+		panic(fmt.Sprintf("kvcache: negative Advance %d", nNew))
+	}
+	for l, f := range a.fill {
+		if f != a.n+nNew {
+			panic(fmt.Sprintf("kvcache: Advance(%d) with layer %d holding %d rows (committed %d)",
+				nNew, l, f, a.n))
+		}
+	}
+	a.n += nNew
+}
+
+// KPages returns the page list holding (layer, head)'s keys. Position p
+// lives at pages[p/PageRows][(p%PageRows)*HeadDim:]; only the first Len()
+// positions are valid, and the last page is partially filled unless Len()
+// is a multiple of PageRows. The returned slice aliases arena storage and
+// must not be mutated.
+func (a *Arena) KPages(layer, head int) [][]float32 { return a.k[layer*a.heads+head] }
+
+// VPages is KPages for the value rows.
+func (a *Arena) VPages(layer, head int) [][]float32 { return a.v[layer*a.heads+head] }
+
+// KRow returns the key vector of one committed position for one head
+// (length HeadDim, aliasing page storage).
+func (a *Arena) KRow(layer, head, pos int) []float32 { return a.row(a.k, layer, head, pos) }
+
+// VRow is KRow for the value rows.
+func (a *Arena) VRow(layer, head, pos int) []float32 { return a.row(a.v, layer, head, pos) }
+
+func (a *Arena) row(pages [][][]float32, layer, head, pos int) []float32 {
+	if pos < 0 || pos >= a.n {
+		panic(fmt.Sprintf("kvcache: position %d out of committed range %d", pos, a.n))
+	}
+	p := pages[layer*a.heads+head][pos/a.pageRows]
+	off := (pos % a.pageRows) * a.hd
+	return p[off : off+a.hd]
+}
+
+// Bytes reports the page storage currently held, in bytes (K and V).
+func (a *Arena) Bytes() int {
+	pages := 0
+	for s := range a.k {
+		pages += len(a.k[s]) + len(a.v[s])
+	}
+	return pages * a.pageRows * a.hd * 4
+}
+
+// Release frees every page (each page is an independent allocation, so
+// the storage is reclaimed page-wise) and resets the arena to empty. The
+// arena may be reused afterwards.
+func (a *Arena) Release() {
+	for s := range a.k {
+		a.k[s], a.v[s] = nil, nil
+	}
+	for l := range a.fill {
+		a.fill[l] = 0
+	}
+	a.n = 0
+}

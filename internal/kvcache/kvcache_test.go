@@ -1,0 +1,201 @@
+package kvcache
+
+import (
+	"testing"
+
+	"specinfer/internal/tensor"
+)
+
+func testArena(pageRows int) (*Arena, Config) {
+	cfg := Config{Layers: 2, Heads: 3, HeadDim: 4, PageRows: pageRows}
+	return New(cfg), cfg
+}
+
+// fillRows appends n positions of deterministic pseudo-random rows to
+// every layer and advances, returning the hidden-wide rows appended per
+// layer ([layer][pos][hidden]) for later comparison.
+func fillRows(a *Arena, cfg Config, rng *tensor.RNG, n int) (k, v [][][]float32) {
+	hidden := cfg.Heads * cfg.HeadDim
+	k = make([][][]float32, cfg.Layers)
+	v = make([][][]float32, cfg.Layers)
+	for i := 0; i < n; i++ {
+		for l := 0; l < cfg.Layers; l++ {
+			kr := make([]float32, hidden)
+			vr := make([]float32, hidden)
+			rng.FillNormal(kr, 1)
+			rng.FillNormal(vr, 1)
+			k[l] = append(k[l], kr)
+			v[l] = append(v[l], vr)
+			a.Append(l, kr, vr)
+		}
+		a.Advance(1)
+	}
+	return k, v
+}
+
+// TestRowRoundTrip is the layout-equivalence check against the old
+// per-position slice cache: every head segment read back from the paged
+// arena must be bitwise identical to the corresponding slice of the
+// hidden-wide row that was appended.
+func TestRowRoundTrip(t *testing.T) {
+	for _, pageRows := range []int{1, 3, 4, 64} {
+		a, cfg := testArena(pageRows)
+		rng := tensor.NewRNG(41)
+		k, v := fillRows(a, cfg, rng, 13)
+		if a.Len() != 13 {
+			t.Fatalf("pageRows %d: Len %d != 13", pageRows, a.Len())
+		}
+		for l := 0; l < cfg.Layers; l++ {
+			for pos := 0; pos < 13; pos++ {
+				for h := 0; h < cfg.Heads; h++ {
+					wantK := k[l][pos][h*cfg.HeadDim : (h+1)*cfg.HeadDim]
+					wantV := v[l][pos][h*cfg.HeadDim : (h+1)*cfg.HeadDim]
+					gotK := a.KRow(l, h, pos)
+					gotV := a.VRow(l, h, pos)
+					for d := 0; d < cfg.HeadDim; d++ {
+						if gotK[d] != wantK[d] || gotV[d] != wantV[d] {
+							t.Fatalf("pageRows %d: (l%d h%d pos%d d%d) round-trip mismatch",
+								pageRows, l, h, pos, d)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPageBoundaries pins the exactly-full and one-over cases: appending
+// exactly PageRows positions must produce one page per (layer, head), and
+// one more position must open a second page holding a single row.
+func TestPageBoundaries(t *testing.T) {
+	a, cfg := testArena(4)
+	rng := tensor.NewRNG(7)
+	fillRows(a, cfg, rng, 4) // exactly one full page
+	if got := len(a.KPages(0, 0)); got != 1 {
+		t.Fatalf("exactly-full: %d pages, want 1", got)
+	}
+	k, _ := fillRows(a, cfg, rng, 1) // one over
+	if got := len(a.KPages(0, 0)); got != 2 {
+		t.Fatalf("one-over: %d pages, want 2", got)
+	}
+	// The overflow row must be the first row of the second page.
+	page := a.KPages(1, 2)[1]
+	want := k[1][0][2*cfg.HeadDim : 3*cfg.HeadDim]
+	for d := range want {
+		if page[d] != want[d] {
+			t.Fatal("overflow row not at the start of the new page")
+		}
+	}
+	if a.Len() != 5 {
+		t.Fatalf("Len %d != 5", a.Len())
+	}
+}
+
+// TestGrow exercises many page boundaries in one arena and checks page
+// counts and Bytes accounting.
+func TestGrow(t *testing.T) {
+	a, cfg := testArena(8)
+	rng := tensor.NewRNG(11)
+	fillRows(a, cfg, rng, 50) // 6 full pages + 2 rows
+	wantPages := 7
+	for l := 0; l < cfg.Layers; l++ {
+		for h := 0; h < cfg.Heads; h++ {
+			if len(a.KPages(l, h)) != wantPages || len(a.VPages(l, h)) != wantPages {
+				t.Fatalf("(l%d h%d): %d/%d pages, want %d",
+					l, h, len(a.KPages(l, h)), len(a.VPages(l, h)), wantPages)
+			}
+		}
+	}
+	wantBytes := cfg.Layers * cfg.Heads * 2 * wantPages * 8 * cfg.HeadDim * 4
+	if a.Bytes() != wantBytes {
+		t.Fatalf("Bytes %d != %d", a.Bytes(), wantBytes)
+	}
+}
+
+func TestRelease(t *testing.T) {
+	a, cfg := testArena(4)
+	rng := tensor.NewRNG(3)
+	fillRows(a, cfg, rng, 9)
+	a.Release()
+	if a.Len() != 0 || a.Bytes() != 0 {
+		t.Fatalf("after Release: Len %d Bytes %d, want 0/0", a.Len(), a.Bytes())
+	}
+	if pages := a.KPages(0, 0); len(pages) != 0 {
+		t.Fatalf("after Release: %d pages retained", len(pages))
+	}
+	// The arena must be reusable.
+	k, _ := fillRows(a, cfg, rng, 2)
+	if a.Len() != 2 {
+		t.Fatalf("post-Release Len %d != 2", a.Len())
+	}
+	got := a.KRow(0, 0, 1)
+	want := k[0][1][:cfg.HeadDim]
+	for d := range want {
+		if got[d] != want[d] {
+			t.Fatal("post-Release round-trip mismatch")
+		}
+	}
+}
+
+func TestAdvanceInvariants(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s must panic", name)
+			}
+		}()
+		f()
+	}
+	a, cfg := testArena(4)
+	hidden := cfg.Heads * cfg.HeadDim
+	row := make([]float32, hidden)
+	mustPanic("uneven layers", func() {
+		a.Append(0, row, row) // layer 1 received nothing
+		a.Advance(1)
+	})
+	b, _ := testArena(4)
+	mustPanic("wrong count", func() {
+		b.Append(0, row, row)
+		b.Append(1, row, row)
+		b.Advance(2)
+	})
+	c, _ := testArena(4)
+	mustPanic("bad layer", func() { c.Append(5, row, row) })
+	mustPanic("bad row length", func() { c.Append(0, row[:3], row[:3]) })
+	mustPanic("read past committed", func() {
+		d, _ := testArena(4)
+		d.Append(0, row, row)
+		d.Append(1, row, row)
+		d.KRow(0, 0, 0) // appended but not advanced
+	})
+	mustPanic("bad geometry", func() { New(Config{Layers: 0, Heads: 1, HeadDim: 2}) })
+	mustPanic("negative page rows", func() { New(Config{Layers: 1, Heads: 1, HeadDim: 2, PageRows: -1}) })
+}
+
+// TestKPagesSlicingMath documents the read-path contract the transformer
+// relies on: position p of (layer, head) lives at
+// pages[p/PageRows][(p%PageRows)*HeadDim:].
+func TestKPagesSlicingMath(t *testing.T) {
+	a, cfg := testArena(4)
+	rng := tensor.NewRNG(23)
+	k, _ := fillRows(a, cfg, rng, 11)
+	for pos := 0; pos < 11; pos++ {
+		pages := a.KPages(1, 1)
+		page := pages[pos/a.PageRows()]
+		off := (pos % a.PageRows()) * a.HeadDim()
+		want := k[1][pos][1*cfg.HeadDim : 2*cfg.HeadDim]
+		for d := 0; d < cfg.HeadDim; d++ {
+			if page[off+d] != want[d] {
+				t.Fatalf("pos %d: slicing contract broken", pos)
+			}
+		}
+	}
+}
+
+func TestDefaultPageRows(t *testing.T) {
+	a := New(Config{Layers: 1, Heads: 1, HeadDim: 2})
+	if a.PageRows() != DefaultPageRows {
+		t.Fatalf("default PageRows %d != %d", a.PageRows(), DefaultPageRows)
+	}
+}

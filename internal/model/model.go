@@ -69,3 +69,18 @@ type Session interface {
 	// Len reports the number of committed tokens (prompt included).
 	Len() int
 }
+
+// Closer is optionally implemented by Sessions that hold releasable
+// resources (e.g. the transformer's paged KV arena). The serving engine
+// closes a request's sessions when the request retires; a closed Session
+// must not be used again.
+type Closer interface {
+	Close()
+}
+
+// CacheSizer is optionally implemented by Sessions that can report the
+// bytes of KV-cache storage they currently hold. The serving engine uses
+// it for per-request cache accounting in its iteration records.
+type CacheSizer interface {
+	CacheBytes() int
+}

@@ -75,6 +75,13 @@ func (a *AdaptiveSpeculator) Prefill(prompt []model.Token) { a.session.Prefill(p
 // Accept commits verified tokens into the SSM session.
 func (a *AdaptiveSpeculator) Accept(tokens []model.Token) { a.session.Accept(tokens) }
 
+// Close releases the SSM session if it holds releasable resources.
+func (a *AdaptiveSpeculator) Close() {
+	if c, ok := a.session.(model.Closer); ok {
+		c.Close()
+	}
+}
+
 // Speculate grows a token tree best-first under the node budget. Each
 // wave scores the current tree with one SSM pass, ranks every (node,
 // token) extension by path probability, and admits the best ones; it

@@ -51,6 +51,9 @@ func (v *VotingSpeculator) Prefill(prompt []model.Token) { v.inner.Prefill(promp
 // Accept commits verified tokens into every SSM session.
 func (v *VotingSpeculator) Accept(tokens []model.Token) { v.inner.Accept(tokens) }
 
+// Close releases the inner speculator's SSM sessions.
+func (v *VotingSpeculator) Close() { v.inner.Close() }
+
 // Speculate merges per-SSM trees and vote-prunes to the budget.
 func (v *VotingSpeculator) Speculate(rootTok model.Token) *tree.Tree {
 	merged := v.inner.Speculate(rootTok)

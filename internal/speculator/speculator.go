@@ -111,6 +111,16 @@ func (s *Speculator) Accept(tokens []model.Token) {
 	}
 }
 
+// Close releases every SSM session that holds releasable resources
+// (model.Closer). The speculator must not be used afterwards.
+func (s *Speculator) Close() {
+	for _, sess := range s.sessions {
+		if c, ok := sess.(model.Closer); ok {
+			c.Close()
+		}
+	}
+}
+
 // Speculate produces the speculated token tree for the next iteration:
 // each SSM expands its own tree under the expansion configuration, and the
 // per-SSM trees are merged (Definition 3.2). rootTok must be the last

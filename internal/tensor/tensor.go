@@ -321,7 +321,7 @@ func SoftmaxMasked(x []float32) {
 			maxv = v
 		}
 	}
-	if math.IsInf(float64(maxv), -1) {
+	if isNegInf(maxv) {
 		u := float32(1.0) / float32(len(x))
 		for i := range x {
 			x[i] = u
@@ -330,7 +330,9 @@ func SoftmaxMasked(x []float32) {
 	}
 	var sum float64
 	for i, v := range x {
-		if math.IsInf(float64(v), -1) {
+		// Bit-pattern compare against the mask sentinel; equivalent to the
+		// float64 IsInf test but without the conversion in the hot loop.
+		if isNegInf(v) {
 			x[i] = 0
 			continue
 		}
@@ -369,6 +371,14 @@ func LogSoftmax(x []float32) {
 
 // NegInf is the mask value used to zero out attention scores.
 var NegInf = float32(math.Inf(-1))
+
+// negInfBits is NegInf's IEEE-754 bit pattern. -Inf is the only float32
+// with these bits, so an integer compare against it is an exact "is this
+// the mask sentinel" test with no float comparison and no widening.
+var negInfBits = math.Float32bits(NegInf)
+
+// isNegInf reports whether v is exactly the NegInf mask sentinel.
+func isNegInf(v float32) bool { return math.Float32bits(v) == negInfBits }
 
 // RMSNorm computes out[i] = x[i] / rms(x) * gain[i], the normalization used
 // by LLaMA-style transformers. x and out may alias.

@@ -22,7 +22,11 @@ package transformer
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
+	"specinfer/internal/kvcache"
 	"specinfer/internal/model"
 	"specinfer/internal/tensor"
 	"specinfer/internal/tree"
@@ -58,6 +62,16 @@ type Config struct {
 	RopeTheta float64 // 0 means 10000 (ArchLLaMA)
 	MaxSeq    int     // learned-position capacity; 0 means 1024 (ArchOPT)
 	Seed      uint64  // weight-initialization seed
+
+	// AttnWorkers bounds the goroutine pool that shards the attention
+	// stage of the batched forward pass across (new token × head) work
+	// items. 0 means GOMAXPROCS with a small-pass serial fallback; 1
+	// forces the serial loop; an explicit count > 1 is always honored
+	// (the determinism tests and benchmarks rely on that). Outputs are
+	// bit-identical for every setting: each work item writes one disjoint
+	// output span and its per-element reduction order never depends on
+	// the pool size.
+	AttnWorkers int
 }
 
 func (c Config) headDim() int { return c.Hidden / c.Heads }
@@ -73,6 +87,8 @@ func (c Config) validate() {
 		panic(fmt.Sprintf("transformer: hidden %d not divisible by heads %d", c.Hidden, c.Heads))
 	case c.headDim()%2 != 0:
 		panic("transformer: head dim must be even for RoPE")
+	case c.AttnWorkers < 0:
+		panic(fmt.Sprintf("transformer: negative AttnWorkers %d", c.AttnWorkers))
 	}
 }
 
@@ -183,24 +199,42 @@ func (m *Model) Config() Config { return m.cfg }
 // NewSession implements model.Model.
 func (m *Model) NewSession() model.Session {
 	s := &Session{m: m, scr: tensor.NewScratch()}
+	s.attnPool = m.cfg.AttnWorkers
+	s.attnExplicit = s.attnPool > 0
+	if !s.attnExplicit {
+		s.attnPool = runtime.GOMAXPROCS(0)
+	}
 	if m.cfg.Arch == ArchLLaMA {
 		s.rope = tensor.NewRopeTable(m.ropeTheta, m.cfg.headDim())
 	}
-	s.cacheK = make([][][]float32, m.cfg.Layers)
-	s.cacheV = make([][][]float32, m.cfg.Layers)
+	s.cache = kvcache.New(kvcache.Config{
+		Layers: m.cfg.Layers, Heads: m.cfg.Heads, HeadDim: m.cfg.headDim(),
+	})
 	return s
 }
 
-// Session is the per-request state: a grown-on-demand KV cache per layer
-// plus the scratch K/V from the last tree-parallel decode, kept so Accept
-// can commit verified rows without recomputation.
+// Session is the per-request state: a grown-on-demand KV cache (the
+// paged head-major arena by default, the pre-paging per-position slice
+// layout for reference/baseline sessions) plus the scratch K/V from the
+// last tree-parallel decode, kept so Accept can commit verified rows
+// without recomputation.
 type Session struct {
-	m        *Model
-	scr      *tensor.Scratch   // reusable forward-pass buffers (batched path)
-	rope     *tensor.RopeTable // cached rotation coefficients (batched path)
-	ref      bool              // use the scalar reference path (see reference.go)
-	cacheK   [][][]float32     // [layer][pos][hidden]
-	cacheV   [][][]float32
+	m    *Model
+	scr  *tensor.Scratch   // reusable forward-pass buffers (batched path)
+	rope *tensor.RopeTable // cached rotation coefficients (batched path)
+	ref  bool              // use the scalar reference path (see reference.go)
+
+	// Exactly one cache backend is active. cache is the paged head-major
+	// arena (default sessions); cacheK/cacheV is the legacy slice layout
+	// [layer][pos][hidden] kept for Reference() and SliceCache() sessions
+	// so the old layout stays measurable and bit-exactly comparable.
+	cache  *kvcache.Arena
+	cacheK [][][]float32
+	cacheV [][][]float32
+
+	attnPool     int  // resolved attention worker bound (>= 1)
+	attnExplicit bool // AttnWorkers was set explicitly; skip the size gate
+
 	n        int       // committed tokens
 	lastDist []float32 // distribution after the last committed token
 
@@ -316,8 +350,11 @@ func (s *Session) DecodeTree(t *tree.Tree) [][]float32 {
 // Accept implements model.Session: commits verified tokens. Tokens that
 // follow a path of the last speculated tree reuse the K/V rows computed by
 // DecodeTree; any remaining tokens (e.g. the bonus token sampled from the
-// LLM on speculation miss) are decoded normally.
+// LLM on speculation miss) are decoded in one batched forward pass.
 func (s *Session) Accept(tokens []model.Token) []float32 {
+	if s.n == 0 {
+		panic("transformer: Accept before Prefill")
+	}
 	i := 0
 	if s.lastTree != nil {
 		u := s.lastTree.Root()
@@ -335,9 +372,18 @@ func (s *Session) Accept(tokens []model.Token) []float32 {
 			// forward lays all of a pass's K/V rows in one backing array,
 			// and aliasing a few accepted rows would pin the whole array
 			// (every rejected branch) in memory for the cache's lifetime.
-			for l := 0; l < s.m.cfg.Layers; l++ {
-				s.cacheK[l] = append(s.cacheK[l], cloneVec(s.treeK[l][li-1]))
-				s.cacheV[l] = append(s.cacheV[l], cloneVec(s.treeV[l][li-1]))
+			// For the paged arena the copy is a head-segment memcpy
+			// straight into page storage — no intermediate per-row clone.
+			if s.cache != nil {
+				for l := 0; l < s.m.cfg.Layers; l++ {
+					s.cache.Append(l, s.treeK[l][li-1], s.treeV[l][li-1])
+				}
+				s.cache.Advance(1)
+			} else {
+				for l := 0; l < s.m.cfg.Layers; l++ {
+					s.cacheK[l] = append(s.cacheK[l], cloneVec(s.treeK[l][li-1]))
+					s.cacheV[l] = append(s.cacheV[l], cloneVec(s.treeV[l][li-1]))
+				}
 			}
 			s.n++
 			s.lastDist = s.treeDists[v]
@@ -346,8 +392,20 @@ func (s *Session) Accept(tokens []model.Token) []float32 {
 		}
 	}
 	s.invalidateTree()
-	for ; i < len(tokens); i++ {
-		s.Decode(tokens[i])
+	// Decode the post-miss tail — the bonus token plus anything beyond
+	// the speculated tree — in ONE forward pass at sequential positions
+	// instead of one full pass per token. Within the pass each tail token
+	// attends the committed cache plus its batch predecessors under plain
+	// causality, which is bit-identical to committing them one at a time.
+	if rest := tokens[i:]; len(rest) > 0 {
+		positions := make([]int, len(rest))
+		for j := range positions {
+			positions[j] = s.n + j
+		}
+		dists, k, v := s.forward(rest, positions, nil, true)
+		s.commitRows(k, v)
+		s.n += len(rest)
+		s.lastDist = dists[len(dists)-1]
 	}
 	if s.lastDist == nil {
 		panic("transformer: Accept produced no distribution")
@@ -362,11 +420,52 @@ func (s *Session) invalidateTree() {
 	s.treeLinIdx = nil
 }
 
+// commitRows appends a forward pass's K/V rows to the committed cache:
+// head-segment memcpys into the paged arena, or per-position row appends
+// for the legacy slice cache of reference/baseline sessions.
 func (s *Session) commitRows(k, v [][][]float32) {
+	if s.cache != nil {
+		nNew := len(k[0])
+		for l := 0; l < s.m.cfg.Layers; l++ {
+			for i := 0; i < nNew; i++ {
+				s.cache.Append(l, k[l][i], v[l][i])
+			}
+		}
+		s.cache.Advance(nNew)
+		return
+	}
 	for l := 0; l < s.m.cfg.Layers; l++ {
 		s.cacheK[l] = append(s.cacheK[l], k[l]...)
 		s.cacheV[l] = append(s.cacheV[l], v[l]...)
 	}
+}
+
+// Close implements model.Closer: it releases the session's KV cache
+// (page-wise for the paged arena) and the retained tree scratch. A
+// closed session must not be used again.
+func (s *Session) Close() {
+	if s.cache != nil {
+		s.cache.Release()
+	}
+	s.cacheK, s.cacheV = nil, nil
+	s.invalidateTree()
+	s.lastDist = nil
+	s.scr = nil
+	s.n = 0
+}
+
+// CacheBytes implements model.CacheSizer: the bytes of KV-cache storage
+// the session currently holds (page storage for the arena, exact row
+// bytes for the slice cache).
+func (s *Session) CacheBytes() int {
+	if s.cache != nil {
+		return s.cache.Bytes()
+	}
+	rows := 0
+	for l := range s.cacheK {
+		rows += len(s.cacheK[l]) + len(s.cacheV[l])
+	}
+	return rows * s.m.cfg.Hidden * 4
 }
 
 // forward runs the transformer over a batch of new tokens at the given
@@ -454,10 +553,9 @@ func (s *Session) forwardBatched(tokens []model.Token, positions []int, mask fun
 
 	for l := 0; l < cfg.Layers; l++ {
 		lw := &s.m.layers[l]
-		cachedK, cachedV := s.cacheK[l], s.cacheV[l]
 		nCached := 0
 		if attendCache {
-			nCached = len(cachedK)
+			nCached = s.n
 		}
 		kRows, vRows := newK[l], newV[l]
 		kMat := &kvViews[2*l]
@@ -485,55 +583,93 @@ func (s *Session) forwardBatched(tokens []model.Token, positions []int, mask fun
 			}
 		}
 
-		// Attention per token and head over cached positions + allowed new
+		// Attention per (token, head) over cached positions + allowed new
 		// ones. The topology guarantees a token only attends new tokens
-		// that precede it in the linearization. The cached segment is dense
-		// (every new token sees the whole committed context), so its scores
-		// go through the register-blocked DotRows4 kernel over per-head key
-		// views built once per layer; the raw dots are scaled in a separate
-		// pass, preserving the reference's dot-then-scale rounding exactly.
-		scoreBuf := scr.Floats("scores", nCached+nNew)
-		kViews := scr.Rows("kviews", nCached*cfg.Heads)
-		for h := 0; h < cfg.Heads; h++ {
-			for j := 0; j < nCached; j++ {
-				kViews[h*nCached+j] = cachedK[j][h*hd : (h+1)*hd]
+		// that precede it in the linearization. The cached segment is
+		// dense (every new token sees the whole committed context): with
+		// the paged arena each head's keys/values are read as at most a
+		// handful of contiguous page slices streamed by the contiguous
+		// kernels; slice-cache sessions keep the PR 2 per-head views
+		// built once per layer. The raw dots are scaled in a separate
+		// pass either way, preserving the reference's dot-then-scale
+		// rounding exactly. Work items are (token, head) pairs with
+		// disjoint output spans, so runAttention may shard them across
+		// the session's worker pool without changing a single bit.
+		var cachedK, cachedV [][]float32
+		var kViews [][]float32
+		if s.cache == nil && nCached > 0 {
+			cachedK, cachedV = s.cacheK[l], s.cacheV[l]
+			kViews = scr.Rows("kviews", nCached*cfg.Heads)
+			for h := 0; h < cfg.Heads; h++ {
+				for j := 0; j < nCached; j++ {
+					kViews[h*nCached+j] = cachedK[j][h*hd : (h+1)*hd]
+				}
 			}
 		}
-		for i := 0; i < nNew; i++ {
+		pageRows := 0
+		if s.cache != nil {
+			pageRows = s.cache.PageRows()
+		}
+		attend := func(i, h int, scoreBuf []float32) {
 			qi, oi := q.Row(i), attnOut.Row(i)
 			scores := scoreBuf[:nCached+i+1]
-			for h := 0; h < cfg.Heads; h++ {
-				qh := qi[h*hd : (h+1)*hd]
-				if nCached > 0 {
+			qh := qi[h*hd : (h+1)*hd]
+			if nCached > 0 {
+				if s.cache != nil {
+					pages := s.cache.KPages(l, h)
+					for p, o := 0, 0; o < nCached; p++ {
+						rows := pageRows
+						if rows > nCached-o {
+							rows = nCached - o
+						}
+						tensor.DotRowsContig4(qh, pages[p], scores[o:o+rows])
+						o += rows
+					}
+				} else {
 					tensor.DotRows4(qh, kViews[h*nCached:(h+1)*nCached], scores[:nCached])
-					for j := 0; j < nCached; j++ {
-						scores[j] *= scale
-					}
-				}
-				for j := 0; j <= i; j++ {
-					if mask(i, j) {
-						scores[nCached+j] = tensor.Dot(qh, kRows[j][h*hd:(h+1)*hd]) * scale
-					} else {
-						scores[nCached+j] = tensor.NegInf
-					}
-				}
-				tensor.SoftmaxMasked(scores)
-				oh := oi[h*hd : (h+1)*hd]
-				for d := 0; d < hd; d++ {
-					oh[d] = 0
 				}
 				for j := 0; j < nCached; j++ {
-					if scores[j] != 0 {
-						tensor.Axpy(scores[j], cachedV[j][h*hd:(h+1)*hd], oh)
-					}
+					scores[j] *= scale
 				}
-				for j := 0; j <= i; j++ {
-					if scores[nCached+j] != 0 {
-						tensor.Axpy(scores[nCached+j], vRows[j][h*hd:(h+1)*hd], oh)
+			}
+			for j := 0; j <= i; j++ {
+				if mask(i, j) {
+					scores[nCached+j] = tensor.Dot(qh, kRows[j][h*hd:(h+1)*hd]) * scale
+				} else {
+					scores[nCached+j] = tensor.NegInf
+				}
+			}
+			tensor.SoftmaxMasked(scores)
+			oh := oi[h*hd : (h+1)*hd]
+			for d := 0; d < hd; d++ {
+				oh[d] = 0
+			}
+			if nCached > 0 {
+				if s.cache != nil {
+					pages := s.cache.VPages(l, h)
+					for p, o := 0, 0; o < nCached; p++ {
+						rows := pageRows
+						if rows > nCached-o {
+							rows = nCached - o
+						}
+						tensor.AttnAccumContig(scores[o:o+rows], pages[p], oh)
+						o += rows
+					}
+				} else {
+					for j := 0; j < nCached; j++ {
+						if scores[j] != 0 {
+							tensor.Axpy(scores[j], cachedV[j][h*hd:(h+1)*hd], oh)
+						}
 					}
 				}
 			}
+			for j := 0; j <= i; j++ {
+				if scores[nCached+j] != 0 {
+					tensor.Axpy(scores[nCached+j], vRows[j][h*hd:(h+1)*hd], oh)
+				}
+			}
 		}
+		s.runAttention(attend, nNew, nCached, hd)
 		tensor.MatMulT(lw.wo, attnOut, proj)
 		for i := 0; i < nNew; i++ {
 			tensor.Add(x.Row(i), proj.Row(i))
@@ -577,6 +713,63 @@ func (s *Session) forwardBatched(tokens []model.Token, positions []int, mask fun
 		dists[i] = cloneVec(logits.Row(i))
 	}
 	return dists, newK, newV
+}
+
+// attnParallelFloor is the minimum number of scalar multiply-adds in one
+// layer's attention stage below which an implicit (GOMAXPROCS-sized)
+// worker pool falls back to the serial loop: spawning goroutines costs
+// more than it saves on a short decode.
+const attnParallelFloor = 1 << 15
+
+// runAttention executes one layer's attention work items — one per
+// (new token, head), each writing a disjoint span of the output matrix —
+// either serially or on a bounded goroutine pool (Config.AttnWorkers).
+// Workers claim items from an atomic counter and each item is computed by
+// exactly the same code on the same read-only inputs regardless of which
+// worker runs it, so outputs are bit-identical for every pool size; only
+// the score scratch is per-worker.
+func (s *Session) runAttention(attend func(i, h int, scoreBuf []float32), nNew, nCached, hd int) {
+	heads := s.m.cfg.Heads
+	items := nNew * heads
+	nw := s.attnPool
+	if nw > items {
+		nw = items
+	}
+	if !s.attnExplicit && items*(nCached+nNew)*hd < attnParallelFloor {
+		nw = 1
+	}
+	// Head-outer iteration: consecutive items share a head, so one head's
+	// cached K/V pages stay hot across every new token before the sweep
+	// moves on — the paged layout's locality win. Item order cannot change
+	// results (disjoint output spans, no cross-item reads), only cache
+	// behaviour.
+	if nw <= 1 {
+		buf := s.scr.Floats("scores", nCached+nNew)
+		for h := 0; h < heads; h++ {
+			for i := 0; i < nNew; i++ {
+				attend(i, h, buf)
+			}
+		}
+		return
+	}
+	bufs := s.scr.Mat("pscores", nw, nCached+nNew)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func(w int) {
+			defer wg.Done()
+			buf := bufs.Row(w)
+			for {
+				it := int(next.Add(1)) - 1
+				if it >= items {
+					return
+				}
+				attend(it%nNew, it/nNew, buf)
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 func cloneVec(v []float32) []float32 {
