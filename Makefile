@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint bench benchsmoke
+.PHONY: check fmt vet build test race lint bench benchsmoke serve servesmoke
 
 check: fmt vet build race lint benchsmoke
 
@@ -30,6 +30,15 @@ lint:
 # benchmark drivers without paying for a full measurement run.
 benchsmoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkForward|BenchmarkEngineIteration' -benchtime 1x .
+
+# Run the serving daemon locally (ctrl-C drains gracefully).
+serve:
+	$(GO) run ./cmd/specinferd -addr 127.0.0.1:8080
+
+# End-to-end daemon smoke: start specinferd, wait for /healthz, run one
+# generation, scrape /metricz, then SIGTERM and require a clean exit.
+servesmoke:
+	./scripts/servesmoke.sh
 
 # Full measurement run with a pinned benchtime; writes BENCH_PR3.json
 # (benchmark -> ns/op, ns/token, allocs/op, plus paged-vs-slice,

@@ -1,0 +1,145 @@
+// Command specinferd is the live serving daemon: the same synthetic
+// models and serving strategies as the specinfer CLI, exposed over an
+// HTTP JSON API with iteration-level continuous batching, per-request
+// cancellation, bounded-queue backpressure, and graceful drain.
+//
+//	specinferd -addr :8080                     # tree speculation, Alpaca
+//	specinferd -mode incremental -batch 8
+//	specinferd -queue 128 -drain-timeout 30s
+//
+// Endpoints:
+//
+//	POST /v1/generate   {"prompt":[1,2,3],"max_new_tokens":32,"stream":true}
+//	GET  /healthz       200 while accepting, 503 while draining
+//	GET  /metricz       live serving stats (queue, slots, latency, KV bytes)
+//	/debug/pprof/...    live profiling
+//
+// SIGINT/SIGTERM starts a graceful drain: in-flight requests finish
+// (bounded by -drain-timeout), queued ones are rejected, and the daemon
+// exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"specinfer/internal/bench"
+	"specinfer/internal/core"
+	"specinfer/internal/model"
+	"specinfer/internal/sampling"
+	"specinfer/internal/server"
+	"specinfer/internal/speculator"
+	"specinfer/internal/tokenizer"
+	"specinfer/internal/tree"
+	"specinfer/internal/workload"
+)
+
+func main() {
+	var (
+		dataset    = flag.String("dataset", "Alpaca", "prompt dataset: Alpaca|CP|WebQA|CIP|PIQA")
+		mode       = flag.String("mode", "tree", "serving mode: incremental|sequence|tree")
+		width      = flag.Int("width", 3, "token tree width (tree mode)")
+		depth      = flag.Int("depth", 8, "speculation depth")
+		batch      = flag.Int("batch", 4, "continuous batching slots")
+		stochastic = flag.Bool("stochastic", false, "stochastic decoding (default greedy)")
+		temp       = flag.Float64("temperature", 1, "sampling temperature (stochastic)")
+		topK       = flag.Int("topk", 0, "top-k sampling filter, 0 disables")
+		topP       = flag.Float64("topp", 0, "nucleus sampling mass, 0 disables")
+		adaptive   = flag.Bool("adaptive", false, "dynamic best-first tree expansion")
+		ssms       = flag.Int("ssms", 1, "SSM pool size (merge-based speculation if >1)")
+		seed       = flag.Uint64("seed", 1, "engine seed")
+		workers    = flag.Int("workers", 0, "request-step worker pool size, 0 = GOMAXPROCS")
+		addr       = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		queue      = flag.Int("queue", 64, "admission queue depth (backpressure bound)")
+		drain      = flag.Duration("drain-timeout", 30*time.Second, "bound on graceful drain; 0 waits for all in-flight requests")
+		maxNew     = flag.Int("max-new-tokens", 256, "per-request generation budget cap accepted over HTTP")
+	)
+	flag.Parse()
+
+	ds, err := workload.LookupDataset(*dataset)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pair := bench.Models(ds)
+	tok := tokenizer.New(ds.Vocab, ds.Seed)
+
+	cfg := core.Config{
+		LLM:          pair.LLM,
+		SeqDepth:     *depth,
+		MaxBatch:     *batch,
+		Seed:         *seed,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		DrainTimeout: *drain,
+	}
+	if *stochastic {
+		cfg.Sample = sampling.Config{
+			Mode:        sampling.Stochastic,
+			Temperature: *temp,
+			TopK:        *topK,
+			TopP:        *topP,
+		}
+	} else {
+		cfg.Sample = sampling.GreedyConfig()
+	}
+	if *adaptive {
+		cfg.Adaptive = &speculator.AdaptiveConfig{MaxNodes: *width * 3, MaxDepth: *depth}
+	}
+	switch *mode {
+	case "incremental":
+		cfg.Mode = core.Incremental
+	case "sequence":
+		cfg.Mode = core.SequenceSpec
+		cfg.SSMs = []model.Model{pair.SSM}
+	case "tree":
+		cfg.Mode = core.TreeSpec
+		exp := make(tree.ExpansionConfig, *depth)
+		for i := range exp {
+			exp[i] = 1
+		}
+		exp[0] = *width
+		cfg.Expansion = exp
+		cfg.SSMs = []model.Model{pair.SSM}
+		for _, extra := range pair.ExtraSSMs(*ssms - 1) {
+			cfg.SSMs = append(cfg.SSMs, extra)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv, err := server.New(server.Config{
+		Engine:       eng,
+		Tokenizer:    tok,
+		MaxNewTokens: *maxNew,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Printf("specinferd — %s on %s, batch %d, queue %d, %s decoding\n",
+		cfg.Mode, ds.Name, *batch, *queue, cfg.Sample.Mode)
+	fmt.Printf("LLM: %s   SSM pool: %d   listening on %s\n",
+		pair.LLM.Name(), len(cfg.SSMs), *addr)
+
+	if err := srv.Run(ctx, *addr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("specinferd: drained cleanly")
+}

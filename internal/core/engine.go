@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"specinfer/internal/model"
 	"specinfer/internal/sampling"
@@ -74,11 +75,19 @@ type Config struct {
 	// written to slot-indexed arrays, so no observable state depends on
 	// goroutine interleaving.
 	Workers int
-	// EOS terminates generation when sampled. Zero or negative disables
-	// (token id 0 therefore cannot serve as EOS; the synthetic workloads
-	// have no natural EOS and the benchmarks run with it disabled, like
-	// the paper's fixed 128-token generations).
+	// EOS is the end-of-sequence token id: generation stops once a step
+	// commits it. Disabling is explicit: set NoEOS (-1), which is also
+	// what withDefaults maps the zero value to, since a zero-initialized
+	// Config must keep meaning "no EOS" (the synthetic workloads have no
+	// natural EOS and the benchmarks run with it disabled, like the
+	// paper's fixed 128-token generations). Because the zero value is
+	// reserved for "unset", token id 0 — where real tokenizers commonly
+	// place special tokens — is selected with UseZeroEOS instead.
 	EOS model.Token
+	// UseZeroEOS marks token id 0 as the EOS token, which the EOS field
+	// alone cannot express (its zero value means "disabled"). Setting
+	// both UseZeroEOS and a positive EOS is a configuration error.
+	UseZeroEOS bool
 	// Seed drives all engine randomness (per-request streams are split
 	// from it, so results are independent of batch interleaving).
 	Seed uint64
@@ -94,7 +103,31 @@ type Config struct {
 	// work; see speculator.AdaptiveConfig). TreeSpec mode only; uses the
 	// first SSM of the pool.
 	Adaptive *speculator.AdaptiveConfig
+
+	// QueueDepth bounds the live admission queue of Serve/Submit: once
+	// MaxBatch slots are busy and QueueDepth requests are waiting,
+	// Submit rejects with ErrQueueFull (backpressure). Defaults to 64.
+	// Ignored by the offline Run/RunOnline paths.
+	QueueDepth int
+	// DrainTimeout bounds graceful drain: after Serve's context is
+	// cancelled, requests still in flight past the timeout are retired
+	// with ErrDrainTimeout. Zero waits for all in-flight requests to
+	// finish, however long they take.
+	DrainTimeout time.Duration
+	// LatencyWindow is the number of recent completed requests whose
+	// latency/queue-delay the live stats retain for quantiles (see
+	// ServeStats). Defaults to 1024.
+	LatencyWindow int
+	// Clock supplies wall-clock time for live serving (queue-delay and
+	// latency accounting in Serve/Submit). nil defaults to the real
+	// clock. The offline Run/RunOnline paths never read it — their
+	// determinism does not depend on this field.
+	Clock func() time.Time
 }
+
+// NoEOS is the explicit "no end-of-sequence token" sentinel for
+// Config.EOS: generation runs to each request's MaxNewTok budget.
+const NoEOS model.Token = -1
 
 // treeSpeculator is the lifecycle both the static and the adaptive
 // speculators implement.
@@ -114,8 +147,21 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatch == 0 {
 		c.MaxBatch = 8
 	}
-	if c.EOS == 0 {
-		c.EOS = -1
+	switch {
+	case c.UseZeroEOS:
+		c.EOS = 0
+	case c.EOS <= 0:
+		c.EOS = NoEOS // zero value = unset, negatives normalize to the sentinel
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.LatencyWindow == 0 {
+		c.LatencyWindow = 1024
+	}
+	if c.Clock == nil {
+		//lint:ignore nondeterminism live serving measures real wall-clock queueing/latency; the offline deterministic paths never read Clock
+		c.Clock = time.Now
 	}
 	return c
 }
@@ -126,6 +172,12 @@ func (c Config) validate() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("core: negative Workers %d", c.Workers)
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("core: negative QueueDepth %d", c.QueueDepth)
+	}
+	if c.DrainTimeout < 0 {
+		return fmt.Errorf("core: negative DrainTimeout %v", c.DrainTimeout)
 	}
 	if c.Mode != Incremental && len(c.SSMs) == 0 {
 		return fmt.Errorf("core: %v mode requires at least one SSM", c.Mode)
@@ -207,13 +259,22 @@ type IterationRecord struct {
 	SpecSteps int
 }
 
-// Engine serves requests.
+// Engine serves requests: offline traces via Run/RunOnline, live
+// traffic via Serve/Submit (see serve.go).
 type Engine struct {
 	cfg Config
+
+	// mu guards srv, the live-serving state installed by Serve. The
+	// offline paths never touch it.
+	mu  sync.Mutex
+	srv *serveState
 }
 
 // NewEngine validates the configuration and returns an engine.
 func NewEngine(cfg Config) (*Engine, error) {
+	if cfg.UseZeroEOS && cfg.EOS > 0 {
+		return nil, fmt.Errorf("core: UseZeroEOS conflicts with EOS=%d; pick one", cfg.EOS)
+	}
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -236,6 +297,9 @@ type reqState struct {
 	rng      *tensor.RNG
 	res      RequestResult
 	done     bool
+	// live is the submission handle when the request arrived through
+	// Submit (nil on the offline Run/RunOnline paths).
+	live *liveReq
 }
 
 // Run serves the trace to completion with continuous batching and returns

@@ -616,3 +616,90 @@ func TestEngineInvariantsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// constModel deterministically emits one token forever: a minimal
+// substrate for EOS-semantics tests.
+type constModel struct {
+	vocab int
+	tok   model.Token
+}
+
+func (m constModel) Name() string              { return "const" }
+func (m constModel) VocabSize() int            { return m.vocab }
+func (m constModel) NewSession() model.Session { return &constSession{m: m} }
+
+type constSession struct {
+	m constModel
+	n int
+}
+
+func (s *constSession) dist() []float32 {
+	d := make([]float32, s.m.vocab)
+	d[s.m.tok] = 1
+	return d
+}
+func (s *constSession) Prefill(p []model.Token) []float32 { s.n = len(p); return s.dist() }
+func (s *constSession) Decode(model.Token) []float32      { s.n++; return s.dist() }
+func (s *constSession) DecodeTree(t *tree.Tree) [][]float32 {
+	out := make([][]float32, t.Len())
+	for i := range out {
+		out[i] = s.dist()
+	}
+	return out
+}
+func (s *constSession) Accept(toks []model.Token) []float32 { s.n += len(toks); return s.dist() }
+func (s *constSession) Len() int                            { return s.n }
+
+// TestZeroTokenEOS: real tokenizers commonly place special tokens at id
+// 0; UseZeroEOS must make token 0 terminate generation, while the zero
+// Config value and the explicit NoEOS sentinel both keep EOS disabled.
+func TestZeroTokenEOS(t *testing.T) {
+	llm := constModel{vocab: 8, tok: 0}
+	reqs := []workload.Request{{ID: 0, Prompt: []int{3, 2}, MaxNewTok: 16}}
+
+	stops, _ := run(t, Config{
+		Mode: Incremental, LLM: llm, Sample: sampling.GreedyConfig(), Seed: 1,
+		UseZeroEOS: true,
+	}, reqs)
+	if len(stops[0].Output) != 1 || stops[0].Output[0] != 0 {
+		t.Fatalf("token-0 EOS must stop after one token, got %v", stops[0].Output)
+	}
+
+	for _, cfg := range []Config{
+		{Mode: Incremental, LLM: llm, Sample: sampling.GreedyConfig(), Seed: 1},             // unset
+		{Mode: Incremental, LLM: llm, Sample: sampling.GreedyConfig(), Seed: 1, EOS: NoEOS}, // explicit
+	} {
+		res, _ := run(t, cfg, reqs)
+		if len(res[0].Output) != 16 {
+			t.Fatalf("EOS disabled (EOS=%d) must run to budget, got %d tokens", cfg.EOS, len(res[0].Output))
+		}
+	}
+
+	if _, err := NewEngine(Config{
+		Mode: Incremental, LLM: llm, Sample: sampling.GreedyConfig(),
+		UseZeroEOS: true, EOS: 5,
+	}); err == nil {
+		t.Fatal("conflicting UseZeroEOS + positive EOS must be rejected")
+	}
+}
+
+// TestZeroTokenEOSTreeSpec: the same semantics must hold on the
+// speculative path, where EOS is enforced by truncate().
+func TestZeroTokenEOSTreeSpec(t *testing.T) {
+	llm := constModel{vocab: 8, tok: 0}
+	ssm := constModel{vocab: 8, tok: 0}
+	reqs := []workload.Request{{ID: 0, Prompt: []int{3, 2}, MaxNewTok: 16}}
+	res, _ := run(t, Config{
+		Mode: TreeSpec, LLM: llm, SSMs: []model.Model{ssm},
+		Sample: sampling.GreedyConfig(), Seed: 1, UseZeroEOS: true,
+	}, reqs)
+	out := res[0].Output
+	if len(out) == 0 || out[len(out)-1] != 0 {
+		t.Fatalf("tree-spec output must end at token-0 EOS, got %v", out)
+	}
+	for _, tok := range out[:len(out)-1] {
+		if tok == 0 {
+			t.Fatal("EOS token appears before the end")
+		}
+	}
+}

@@ -1,0 +1,482 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"specinfer/internal/metrics"
+	"specinfer/internal/model"
+	"specinfer/internal/workload"
+)
+
+// Live-serving errors. The HTTP layer maps them to status codes
+// (ErrQueueFull -> 429, ErrDraining/ErrNotServing -> 503).
+var (
+	// ErrNotServing is returned by Submit when no Serve loop is running.
+	ErrNotServing = errors.New("core: engine is not serving")
+	// ErrAlreadyServing is returned by Serve when a loop is already
+	// running; an Engine hosts at most one scheduler at a time.
+	ErrAlreadyServing = errors.New("core: engine is already serving")
+	// ErrDraining rejects work submitted after graceful drain began.
+	ErrDraining = errors.New("core: engine is draining, not accepting requests")
+	// ErrQueueFull is the backpressure signal: MaxBatch slots busy and
+	// QueueDepth requests already waiting.
+	ErrQueueFull = errors.New("core: admission queue is full")
+	// ErrDrainTimeout retires requests still in flight when graceful
+	// drain exceeds Config.DrainTimeout.
+	ErrDrainTimeout = errors.New("core: request aborted by drain timeout")
+)
+
+// Result is the terminal outcome of a live request submitted through
+// Submit. Output and the per-step statistics are whatever the request
+// committed before it finished or was retired — a cancelled request
+// reports its partial generation.
+type Result struct {
+	RequestResult
+	// Err is nil on normal completion (budget or EOS reached). A
+	// request retired early carries the reason: context.Canceled,
+	// context.DeadlineExceeded, ErrDraining, or ErrDrainTimeout.
+	Err error
+	// QueueDelay is the wall-clock time from Submit to slot admission.
+	QueueDelay time.Duration
+	// Latency is the wall-clock time from Submit to retirement.
+	Latency time.Duration
+}
+
+// liveReq is the scheduler-side handle of one submitted request.
+type liveReq struct {
+	ctx context.Context
+	req workload.Request
+	// tokens streams committed tokens in order; its capacity is the
+	// request's full generation budget, so scheduler sends never block
+	// on a slow consumer. Closed at retirement.
+	tokens chan model.Token
+	// result delivers the terminal Result (capacity 1) and is closed
+	// after the send.
+	result    chan Result
+	submitted time.Time
+	started   time.Time // zero until admitted to a slot
+	streamed  int       // tokens already sent on the tokens channel
+}
+
+// stream sends any newly committed tokens to the consumer.
+func (lr *liveReq) stream(out []model.Token) {
+	for _, tok := range out[lr.streamed:] {
+		lr.tokens <- tok
+	}
+	lr.streamed = len(out)
+}
+
+// finish streams any remaining tokens, delivers the Result, and closes
+// both channels. Must be called exactly once.
+func (lr *liveReq) finish(res Result) {
+	lr.stream(res.Output)
+	close(lr.tokens)
+	lr.result <- res
+	close(lr.result)
+}
+
+// serveState is the shared state between the scheduler goroutine, Submit
+// callers, and ServeStats readers.
+type serveState struct {
+	admit chan *liveReq
+	clock func() time.Time
+
+	mu         sync.Mutex
+	draining   bool
+	stopped    bool // scheduler exited; no further sends to admit
+	started    time.Time
+	submitted  uint64
+	completed  uint64
+	canceled   uint64 // retired with a context/drain error
+	rejected   uint64 // refused at Submit (queue full or draining)
+	iterations uint64
+	tokens     uint64
+	activeReqs int
+	kvBytes    int64
+	latency    *metrics.Window
+	queueDelay *metrics.Window
+}
+
+// ServeStats is a point-in-time snapshot of the live serving loop, the
+// backing data of the daemon's /metricz endpoint.
+type ServeStats struct {
+	Serving  bool
+	Draining bool
+	// QueueDepth is the number of submitted requests waiting for a
+	// slot; QueueCap is Config.QueueDepth.
+	QueueDepth, QueueCap int
+	// ActiveRequests is the batch size of the last iteration's end;
+	// MaxBatch is the slot bound.
+	ActiveRequests, MaxBatch int
+	// Submitted counts accepted Submit calls; Completed normal
+	// retirements; Canceled early retirements (cancel/deadline/drain);
+	// Rejected refusals at Submit time.
+	Submitted, Completed, Canceled, Rejected uint64
+	// Iterations and TokensCommitted accumulate over the Serve lifetime.
+	Iterations, TokensCommitted uint64
+	// KVBytesActive is the KV-cache storage currently held by active
+	// request sessions (0 when the model does not implement
+	// model.CacheSizer).
+	KVBytesActive int64
+	// UptimeSeconds is the wall-clock age of the Serve loop, and
+	// TokensPerSec the lifetime commit throughput.
+	UptimeSeconds float64
+	TokensPerSec  float64
+	// Latency and QueueDelay summarize the most recent completed
+	// requests (Config.LatencyWindow of them), in seconds.
+	Latency, QueueDelay metrics.Summary
+}
+
+// Serve runs the live scheduler loop until ctx is cancelled and the
+// engine has drained. It owns iteration-level scheduling for requests
+// arriving through Submit: each pass admits queued requests into free
+// continuous-batching slots, retires cancelled or expired requests at
+// the iteration boundary (releasing their sessions and KV pages), steps
+// the active batch once, streams newly committed tokens, and retires
+// finished requests.
+//
+// Cancelling ctx starts graceful drain: Submit rejects with
+// ErrDraining, queued-but-unadmitted requests are retired with
+// ErrDraining, in-flight requests run to completion (bounded by
+// Config.DrainTimeout if set), and Serve returns nil.
+func (e *Engine) Serve(ctx context.Context) error {
+	if ctx == nil {
+		return fmt.Errorf("core: Serve requires a context")
+	}
+	s := &serveState{
+		admit:      make(chan *liveReq, e.cfg.QueueDepth),
+		clock:      e.cfg.Clock,
+		started:    e.cfg.Clock(),
+		latency:    metrics.NewWindow(e.cfg.LatencyWindow),
+		queueDelay: metrics.NewWindow(e.cfg.LatencyWindow),
+	}
+	e.mu.Lock()
+	if e.srv != nil {
+		e.mu.Unlock()
+		return ErrAlreadyServing
+	}
+	e.srv = s
+	e.mu.Unlock()
+	defer e.stopServing(s)
+
+	var active []*reqState
+	draining := false
+	var drainDeadline time.Time
+
+	for {
+		// Enter draining at the first sign of shutdown.
+		if !draining && ctx.Err() != nil {
+			draining = true
+			s.setDraining()
+			if e.cfg.DrainTimeout > 0 {
+				drainDeadline = s.clock().Add(e.cfg.DrainTimeout)
+			}
+		}
+
+		// Admission: fill free slots from the queue without blocking
+		// (iteration-level scheduling — new requests join as soon as a
+		// slot frees up, not when the batch drains).
+		if !draining {
+		fill:
+			for len(active) < e.cfg.MaxBatch {
+				select {
+				case lr := <-s.admit:
+					if st := e.admitLive(s, lr); st != nil {
+						active = append(active, st)
+					}
+				default:
+					break fill
+				}
+			}
+		}
+
+		if len(active) == 0 {
+			if draining {
+				break // in-flight work done; leftovers in the queue are rejected by stopServing
+			}
+			s.setActive(active)
+			// Idle: block until a request arrives or shutdown starts.
+			select {
+			case lr := <-s.admit:
+				if st := e.admitLive(s, lr); st != nil {
+					active = append(active, st)
+				}
+			case <-ctx.Done():
+			}
+			continue
+		}
+
+		// Retire cancelled and deadline-expired requests at the
+		// iteration boundary, before paying for their step.
+		active = e.sweepCancelled(s, active)
+
+		// Hard drain bound: abort whatever is still in flight.
+		if draining && !drainDeadline.IsZero() && !s.clock().Before(drainDeadline) {
+			for _, st := range active {
+				e.finishLive(s, st, ErrDrainTimeout)
+			}
+			active = nil
+		}
+		if len(active) == 0 {
+			s.setActive(active)
+			continue
+		}
+
+		rec := e.runIteration(active)
+		s.recordIteration(rec)
+
+		// Stream newly committed tokens; retire finished requests.
+		var still []*reqState
+		for _, st := range active {
+			if st.done {
+				e.finishLive(s, st, nil)
+			} else {
+				st.live.stream(st.res.Output)
+				still = append(still, st)
+			}
+		}
+		active = still
+		s.setActive(active)
+	}
+	return nil
+}
+
+// Submit hands a request to the running Serve loop. On acceptance it
+// returns a token channel streaming tokens as iterations commit them
+// (closed at retirement) and a 1-buffered result channel delivering the
+// terminal Result. ctx cancellation or deadline expiry retires the
+// request at the next iteration boundary, releasing its batching slot
+// and KV cache; the Result then carries ctx.Err() and the partial
+// output.
+//
+// Submit fails fast with ErrNotServing, ErrDraining, or — when MaxBatch
+// slots are busy and QueueDepth requests already wait — ErrQueueFull.
+// The request's ID seeds its deterministic RNG stream; callers that
+// want reproducible stochastic decoding assign stable IDs.
+func (e *Engine) Submit(ctx context.Context, req workload.Request) (<-chan model.Token, <-chan Result, error) {
+	if len(req.Prompt) == 0 {
+		return nil, nil, fmt.Errorf("core: Submit requires a non-empty prompt")
+	}
+	if req.MaxNewTok <= 0 {
+		return nil, nil, fmt.Errorf("core: Submit requires positive MaxNewTok, got %d", req.MaxNewTok)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.srv
+	if s == nil {
+		return nil, nil, ErrNotServing
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return nil, nil, ErrNotServing
+	}
+	if s.draining {
+		s.rejected++
+		return nil, nil, ErrDraining
+	}
+	lr := &liveReq{
+		ctx:       ctx,
+		req:       req,
+		tokens:    make(chan model.Token, req.MaxNewTok),
+		result:    make(chan Result, 1),
+		submitted: s.clock(),
+	}
+	select {
+	case s.admit <- lr:
+		s.submitted++
+		return lr.tokens, lr.result, nil
+	default:
+		s.rejected++
+		return nil, nil, ErrQueueFull
+	}
+}
+
+// ServeStats snapshots the live serving loop. The zero value (Serving
+// false) is returned when no Serve loop is running.
+func (e *Engine) ServeStats() ServeStats {
+	e.mu.Lock()
+	s := e.srv
+	e.mu.Unlock()
+	if s == nil {
+		return ServeStats{MaxBatch: e.cfg.MaxBatch, QueueCap: e.cfg.QueueDepth}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := ServeStats{
+		Serving:         !s.stopped,
+		Draining:        s.draining,
+		QueueDepth:      len(s.admit),
+		QueueCap:        e.cfg.QueueDepth,
+		ActiveRequests:  s.activeReqs,
+		MaxBatch:        e.cfg.MaxBatch,
+		Submitted:       s.submitted,
+		Completed:       s.completed,
+		Canceled:        s.canceled,
+		Rejected:        s.rejected,
+		Iterations:      s.iterations,
+		TokensCommitted: s.tokens,
+		KVBytesActive:   s.kvBytes,
+		Latency:         s.latency.Summary(),
+		QueueDelay:      s.queueDelay.Summary(),
+	}
+	st.UptimeSeconds = s.clock().Sub(s.started).Seconds()
+	if st.UptimeSeconds > 0 {
+		st.TokensPerSec = float64(s.tokens) / st.UptimeSeconds
+	}
+	return st
+}
+
+// Draining reports whether the engine is refusing new work while
+// finishing in-flight requests (the daemon's health probe).
+func (e *Engine) Draining() bool {
+	e.mu.Lock()
+	s := e.srv
+	e.mu.Unlock()
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Serving reports whether a Serve loop is accepting submissions.
+func (e *Engine) Serving() bool {
+	e.mu.Lock()
+	s := e.srv
+	e.mu.Unlock()
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.stopped && !s.draining
+}
+
+// admitLive moves a queued request into a batching slot: prefill both
+// sessions and record its admission time. A request whose context is
+// already dead is retired immediately instead.
+func (e *Engine) admitLive(s *serveState, lr *liveReq) *reqState {
+	if err := lr.ctx.Err(); err != nil {
+		s.mu.Lock()
+		s.canceled++
+		s.mu.Unlock()
+		lr.finish(Result{
+			RequestResult: RequestResult{ID: lr.req.ID, PromptLen: len(lr.req.Prompt)},
+			Err:           err,
+			Latency:       s.clock().Sub(lr.submitted),
+		})
+		return nil
+	}
+	lr.started = s.clock()
+	st := e.admit(lr.req)
+	st.live = lr
+	return st
+}
+
+// sweepCancelled retires every active request whose context has been
+// cancelled or has expired, releasing its session (and thereby its KV
+// pages) before the next iteration is paid for.
+func (e *Engine) sweepCancelled(s *serveState, active []*reqState) []*reqState {
+	still := active[:0]
+	for _, st := range active {
+		if err := st.live.ctx.Err(); err != nil {
+			e.finishLive(s, st, err)
+		} else {
+			still = append(still, st)
+		}
+	}
+	return still
+}
+
+// finishLive retires one live request: release its sessions, deliver
+// the Result, and record its latency.
+func (e *Engine) finishLive(s *serveState, st *reqState, err error) {
+	release(st)
+	now := s.clock()
+	res := Result{
+		RequestResult: st.res,
+		Err:           err,
+		QueueDelay:    st.live.started.Sub(st.live.submitted),
+		Latency:       now.Sub(st.live.submitted),
+	}
+	s.mu.Lock()
+	if err == nil {
+		s.completed++
+	} else {
+		s.canceled++
+	}
+	s.latency.Add(res.Latency.Seconds())
+	s.queueDelay.Add(res.QueueDelay.Seconds())
+	s.mu.Unlock()
+	st.live.finish(res)
+}
+
+// stopServing detaches the serve state from the engine and rejects any
+// requests still sitting in the admission queue. After it returns,
+// Submit reports ErrNotServing.
+func (e *Engine) stopServing(s *serveState) {
+	e.mu.Lock()
+	e.srv = nil
+	e.mu.Unlock()
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+	// No sender can reach s.admit anymore (Submit checks stopped under
+	// the same locks), so draining the buffer retires every straggler.
+	for {
+		select {
+		case lr := <-s.admit:
+			s.mu.Lock()
+			s.canceled++
+			s.mu.Unlock()
+			lr.finish(Result{
+				RequestResult: RequestResult{ID: lr.req.ID, PromptLen: len(lr.req.Prompt)},
+				Err:           ErrDraining,
+				Latency:       s.clock().Sub(lr.submitted),
+			})
+		default:
+			return
+		}
+	}
+}
+
+func (s *serveState) setDraining() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// recordIteration folds one iteration record into the live stats.
+func (s *serveState) recordIteration(rec IterationRecord) {
+	var toks uint64
+	for _, c := range rec.Committed {
+		toks += uint64(c)
+	}
+	s.mu.Lock()
+	s.iterations++
+	s.tokens += toks
+	s.mu.Unlock()
+}
+
+// setActive refreshes the active-slot count and the KV-cache footprint
+// of the surviving requests — after retirements, so freed bytes are
+// visible immediately.
+func (s *serveState) setActive(active []*reqState) {
+	var kv int64
+	for _, st := range active {
+		kv += sessionCacheBytes(st.llm)
+	}
+	s.mu.Lock()
+	s.activeReqs = len(active)
+	s.kvBytes = kv
+	s.mu.Unlock()
+}

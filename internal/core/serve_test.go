@@ -1,0 +1,584 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"specinfer/internal/model"
+	"specinfer/internal/sampling"
+	"specinfer/internal/tensor"
+	"specinfer/internal/tree"
+	"specinfer/internal/workload"
+)
+
+// slowModel emits a fixed token with a configurable per-step delay and
+// fake KV-byte accounting, giving the lifecycle tests deterministic
+// control over iteration timing plus direct observability of session
+// release (open-session count, per-session closed flag).
+type slowModel struct {
+	vocab int
+	tok   model.Token
+	delay time.Duration
+
+	mu   sync.Mutex
+	open int
+}
+
+func (m *slowModel) Name() string   { return "slow" }
+func (m *slowModel) VocabSize() int { return m.vocab }
+func (m *slowModel) NewSession() model.Session {
+	m.mu.Lock()
+	m.open++
+	m.mu.Unlock()
+	return &slowSession{m: m}
+}
+
+func (m *slowModel) openSessions() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.open
+}
+
+type slowSession struct {
+	m      *slowModel
+	n      int
+	closed bool
+}
+
+func (s *slowSession) dist() []float32 {
+	d := make([]float32, s.m.vocab)
+	d[s.m.tok] = 1
+	return d
+}
+
+func (s *slowSession) Prefill(p []model.Token) []float32 {
+	s.n = len(p)
+	return s.dist()
+}
+
+func (s *slowSession) Decode(model.Token) []float32 {
+	time.Sleep(s.m.delay)
+	s.n++
+	return s.dist()
+}
+
+func (s *slowSession) DecodeTree(t *tree.Tree) [][]float32 {
+	time.Sleep(s.m.delay)
+	out := make([][]float32, t.Len())
+	for i := range out {
+		out[i] = s.dist()
+	}
+	return out
+}
+
+func (s *slowSession) Accept(toks []model.Token) []float32 {
+	s.n += len(toks)
+	return s.dist()
+}
+
+func (s *slowSession) Len() int { return s.n }
+
+func (s *slowSession) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.m.mu.Lock()
+	s.m.open--
+	s.m.mu.Unlock()
+}
+
+// CacheBytes implements model.CacheSizer with a transparent formula so
+// tests can assert reclamation down to zero.
+func (s *slowSession) CacheBytes() int {
+	if s.closed {
+		return 0
+	}
+	return s.n * 8
+}
+
+// startServe launches Serve on its own goroutine, waits until it
+// accepts submissions, and returns a cancel that initiates drain plus a
+// channel carrying Serve's return value.
+func startServe(t *testing.T, eng *Engine) (context.CancelFunc, chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- eng.Serve(ctx) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for !eng.ServeStats().Serving {
+		if time.Now().After(deadline) {
+			t.Fatal("Serve never came up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return cancel, done
+}
+
+func waitServeExit(t *testing.T, cancel context.CancelFunc, done chan error) {
+	t.Helper()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v, want nil after drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not drain in time")
+	}
+}
+
+func mustResult(t *testing.T, results <-chan Result, within time.Duration) Result {
+	t.Helper()
+	select {
+	case res := <-results:
+		return res
+	case <-time.After(within):
+		t.Fatal("no Result delivered in time")
+		return Result{}
+	}
+}
+
+// waitStats polls ServeStats until pred holds or the deadline passes.
+func waitStats(t *testing.T, eng *Engine, pred func(ServeStats) bool) ServeStats {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := eng.ServeStats()
+		if pred(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats never converged: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestServeSubmitStreamsAndCompletes: the basic live path — tokens
+// stream in commit order, the Result carries the full output, and the
+// generation matches the offline Run path token-for-token (the live
+// scheduler preserves the engine's determinism).
+func TestServeSubmitStreamsAndCompletes(t *testing.T) {
+	llm, ssm, reqs := testModels(t, 3, 24)
+	cfg := Config{
+		Mode: TreeSpec, LLM: llm, SSMs: []model.Model{ssm},
+		Sample: sampling.GreedyConfig(), Seed: 41, MaxBatch: 2,
+	}
+	offlineEng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline, _ := offlineEng.Run(reqs)
+
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel, done := startServe(t, eng)
+	defer waitServeExit(t, cancel, done)
+
+	for i, req := range reqs {
+		tokens, results, err := eng.Submit(context.Background(), req)
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		var streamed []model.Token
+		for tok := range tokens {
+			streamed = append(streamed, tok)
+		}
+		res := mustResult(t, results, 5*time.Second)
+		if res.Err != nil {
+			t.Fatalf("req %d: unexpected error %v", i, res.Err)
+		}
+		if len(streamed) != len(res.Output) {
+			t.Fatalf("req %d: streamed %d tokens, result has %d", i, len(streamed), len(res.Output))
+		}
+		for j := range streamed {
+			if streamed[j] != res.Output[j] || res.Output[j] != offline[i].Output[j] {
+				t.Fatalf("req %d token %d: live serving diverged from offline Run", i, j)
+			}
+		}
+		if res.Latency <= 0 || res.QueueDelay < 0 {
+			t.Fatalf("req %d: nonsensical timing %+v", i, res)
+		}
+	}
+
+	st := eng.ServeStats()
+	if st.Completed != 3 || st.Submitted != 3 || st.Canceled != 0 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+	if st.TokensCommitted != 3*24 {
+		t.Fatalf("tokens committed %d, want 72", st.TokensCommitted)
+	}
+	if st.Latency.N != 3 {
+		t.Fatalf("latency window has %d samples, want 3", st.Latency.N)
+	}
+}
+
+// TestServeCancellationReleasesSlotAndSession: cancelling a request
+// mid-flight must retire it at the next iteration boundary, close its
+// session (KV bytes reclaimed, CacheBytes back to 0), and free the
+// batching slot for new work.
+func TestServeCancellationReleasesSlotAndSession(t *testing.T) {
+	llm := &slowModel{vocab: 8, tok: 3, delay: 2 * time.Millisecond}
+	eng, err := NewEngine(Config{
+		Mode: Incremental, LLM: llm, Sample: sampling.GreedyConfig(),
+		Seed: 1, MaxBatch: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelServe, done := startServe(t, eng)
+	defer waitServeExit(t, cancelServe, done)
+
+	reqCtx, cancelReq := context.WithCancel(context.Background())
+	tokens, results, err := eng.Submit(reqCtx, workload.Request{
+		ID: 7, Prompt: []int{1, 2}, MaxNewTok: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let it commit a few tokens, then cancel mid-flight.
+	for i := 0; i < 3; i++ {
+		select {
+		case <-tokens:
+		case <-time.After(5 * time.Second):
+			t.Fatal("no tokens before cancellation")
+		}
+	}
+	cancelReq()
+
+	res := mustResult(t, results, 5*time.Second)
+	if !errors.Is(res.Err, context.Canceled) {
+		t.Fatalf("result error %v, want context.Canceled", res.Err)
+	}
+	if len(res.Output) < 3 || len(res.Output) >= 5000 {
+		t.Fatalf("cancelled request output length %d, want partial", len(res.Output))
+	}
+
+	st := waitStats(t, eng, func(st ServeStats) bool {
+		return st.ActiveRequests == 0 && st.KVBytesActive == 0
+	})
+	if st.Canceled != 1 {
+		t.Fatalf("canceled count %d, want 1: %+v", st.Canceled, st)
+	}
+	if open := llm.openSessions(); open != 0 {
+		t.Fatalf("%d sessions still open after cancellation", open)
+	}
+
+	// The freed slot must accept new work immediately.
+	_, results2, err := eng.Submit(context.Background(), workload.Request{
+		ID: 8, Prompt: []int{1}, MaxNewTok: 4,
+	})
+	if err != nil {
+		t.Fatalf("Submit after cancellation: %v", err)
+	}
+	if res2 := mustResult(t, results2, 5*time.Second); res2.Err != nil {
+		t.Fatalf("follow-up request failed: %v", res2.Err)
+	}
+}
+
+// TestServeDeadlineExpiry: a request whose context deadline passes is
+// retired with context.DeadlineExceeded and its partial output.
+func TestServeDeadlineExpiry(t *testing.T) {
+	llm := &slowModel{vocab: 8, tok: 3, delay: 2 * time.Millisecond}
+	eng, err := NewEngine(Config{
+		Mode: Incremental, LLM: llm, Sample: sampling.GreedyConfig(), Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelServe, done := startServe(t, eng)
+	defer waitServeExit(t, cancelServe, done)
+
+	reqCtx, cancelReq := context.WithTimeout(context.Background(), 40*time.Millisecond)
+	defer cancelReq()
+	_, results, err := eng.Submit(reqCtx, workload.Request{
+		ID: 1, Prompt: []int{1, 2}, MaxNewTok: 100000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustResult(t, results, 5*time.Second)
+	if !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Fatalf("result error %v, want context.DeadlineExceeded", res.Err)
+	}
+	if len(res.Output) == 0 || len(res.Output) >= 100000 {
+		t.Fatalf("expired request output length %d, want partial progress", len(res.Output))
+	}
+	if llm.openSessions() != 0 {
+		t.Fatal("session not released after deadline expiry")
+	}
+}
+
+// TestServeBackpressure: with MaxBatch slots busy and QueueDepth
+// requests waiting, Submit must reject with ErrQueueFull — and accept
+// again once capacity frees up.
+func TestServeBackpressure(t *testing.T) {
+	llm := &slowModel{vocab: 8, tok: 3, delay: 2 * time.Millisecond}
+	eng, err := NewEngine(Config{
+		Mode: Incremental, LLM: llm, Sample: sampling.GreedyConfig(),
+		Seed: 1, MaxBatch: 1, QueueDepth: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelServe, done := startServe(t, eng)
+	defer waitServeExit(t, cancelServe, done)
+
+	// A occupies the single slot (confirmed by its first token).
+	aCtx, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	tokA, resA, err := eng.Submit(aCtx, workload.Request{
+		ID: 1, Prompt: []int{1}, MaxNewTok: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-tokA:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request A never started")
+	}
+
+	// B fills the queue.
+	_, resB, err := eng.Submit(context.Background(), workload.Request{
+		ID: 2, Prompt: []int{1}, MaxNewTok: 8,
+	})
+	if err != nil {
+		t.Fatalf("queueing submit rejected: %v", err)
+	}
+
+	// C must bounce off the full queue.
+	if _, _, err := eng.Submit(context.Background(), workload.Request{
+		ID: 3, Prompt: []int{1}, MaxNewTok: 8,
+	}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("expected ErrQueueFull, got %v", err)
+	}
+	if st := eng.ServeStats(); st.Rejected != 1 {
+		t.Fatalf("rejected count %d, want 1", st.Rejected)
+	}
+
+	// Cancelling A frees the slot at the next iteration boundary: B is
+	// admitted, runs to completion, and the queue accepts work again.
+	cancelA()
+	if a := mustResult(t, resA, 5*time.Second); !errors.Is(a.Err, context.Canceled) {
+		t.Fatalf("A error %v, want context.Canceled", a.Err)
+	}
+	if b := mustResult(t, resB, 5*time.Second); b.Err != nil || len(b.Output) != 8 {
+		t.Fatalf("queued request B must complete after A frees the slot: %+v", b)
+	}
+	_, resD, err := eng.Submit(context.Background(), workload.Request{
+		ID: 4, Prompt: []int{1}, MaxNewTok: 4,
+	})
+	if err != nil {
+		t.Fatalf("Submit after queue drained: %v", err)
+	}
+	if d := mustResult(t, resD, 5*time.Second); d.Err != nil {
+		t.Fatalf("post-backpressure request failed: %v", d.Err)
+	}
+}
+
+// TestServeGracefulDrain: cancelling the Serve context finishes
+// in-flight requests completely, rejects queued-but-unadmitted and new
+// requests, and Serve returns nil.
+func TestServeGracefulDrain(t *testing.T) {
+	llm := &slowModel{vocab: 8, tok: 3, delay: time.Millisecond}
+	eng, err := NewEngine(Config{
+		Mode: Incremental, LLM: llm, Sample: sampling.GreedyConfig(),
+		Seed: 1, MaxBatch: 1, QueueDepth: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- eng.Serve(ctx) }()
+	waitStats(t, eng, func(st ServeStats) bool { return st.Serving })
+
+	// A in flight (slow enough to still be running when drain starts),
+	// B queued behind it.
+	_, resA, err := eng.Submit(context.Background(), workload.Request{
+		ID: 1, Prompt: []int{1}, MaxNewTok: 120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStats(t, eng, func(st ServeStats) bool { return st.ActiveRequests == 1 })
+	_, resB, err := eng.Submit(context.Background(), workload.Request{
+		ID: 2, Prompt: []int{1}, MaxNewTok: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cancel()
+
+	a := mustResult(t, resA, 10*time.Second)
+	if a.Err != nil {
+		t.Fatalf("in-flight request must complete through drain, got %v", a.Err)
+	}
+	if len(a.Output) != 120 {
+		t.Fatalf("drained request output %d tokens, want its full 120", len(a.Output))
+	}
+	b := mustResult(t, resB, 10*time.Second)
+	if !errors.Is(b.Err, ErrDraining) {
+		t.Fatalf("queued request must be rejected by drain, got %v", b.Err)
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+
+	// Fully stopped: submissions now report not-serving.
+	if _, _, err := eng.Submit(context.Background(), workload.Request{
+		ID: 3, Prompt: []int{1}, MaxNewTok: 4,
+	}); !errors.Is(err, ErrNotServing) {
+		t.Fatalf("expected ErrNotServing after drain, got %v", err)
+	}
+	if llm.openSessions() != 0 {
+		t.Fatal("sessions leaked through drain")
+	}
+}
+
+// TestServeDrainTimeout: requests still in flight past DrainTimeout are
+// force-retired with ErrDrainTimeout so Serve can return.
+func TestServeDrainTimeout(t *testing.T) {
+	llm := &slowModel{vocab: 8, tok: 3, delay: 3 * time.Millisecond}
+	eng, err := NewEngine(Config{
+		Mode: Incremental, LLM: llm, Sample: sampling.GreedyConfig(),
+		Seed: 1, DrainTimeout: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- eng.Serve(ctx) }()
+	waitStats(t, eng, func(st ServeStats) bool { return st.Serving })
+
+	_, results, err := eng.Submit(context.Background(), workload.Request{
+		ID: 1, Prompt: []int{1}, MaxNewTok: 100000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStats(t, eng, func(st ServeStats) bool { return st.ActiveRequests == 1 })
+	cancel()
+
+	res := mustResult(t, results, 10*time.Second)
+	if !errors.Is(res.Err, ErrDrainTimeout) {
+		t.Fatalf("result error %v, want ErrDrainTimeout", res.Err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve stuck past its drain timeout")
+	}
+	if llm.openSessions() != 0 {
+		t.Fatal("session leaked through drain timeout")
+	}
+}
+
+// TestServeLifecycleErrors pins the fail-fast paths: submitting with no
+// scheduler, double Serve, and malformed requests.
+func TestServeLifecycleErrors(t *testing.T) {
+	llm := &slowModel{vocab: 8, tok: 3}
+	eng, err := NewEngine(Config{Mode: Incremental, LLM: llm, Sample: sampling.GreedyConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := eng.Submit(context.Background(), workload.Request{
+		ID: 1, Prompt: []int{1}, MaxNewTok: 4,
+	}); !errors.Is(err, ErrNotServing) {
+		t.Fatalf("expected ErrNotServing, got %v", err)
+	}
+
+	cancel, done := startServe(t, eng)
+	defer waitServeExit(t, cancel, done)
+	waitStats(t, eng, func(st ServeStats) bool { return st.Serving })
+
+	if err := eng.Serve(context.Background()); !errors.Is(err, ErrAlreadyServing) {
+		t.Fatalf("expected ErrAlreadyServing, got %v", err)
+	}
+	if _, _, err := eng.Submit(context.Background(), workload.Request{ID: 1, MaxNewTok: 4}); err == nil {
+		t.Fatal("empty prompt must be rejected")
+	}
+	if _, _, err := eng.Submit(context.Background(), workload.Request{ID: 1, Prompt: []int{1}}); err == nil {
+		t.Fatal("non-positive MaxNewTok must be rejected")
+	}
+	if !eng.Serving() {
+		t.Fatal("Serving() must report true while accepting")
+	}
+}
+
+// TestServeConcurrentSubmitters hammers Submit from many goroutines to
+// exercise the admission path under the race detector.
+func TestServeConcurrentSubmitters(t *testing.T) {
+	llm, ssm, _ := testModels(t, 1, 1)
+	eng, err := NewEngine(Config{
+		Mode: TreeSpec, LLM: llm, SSMs: []model.Model{ssm},
+		Sample: sampling.GreedyConfig(), Seed: 2, MaxBatch: 4, QueueDepth: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel, done := startServe(t, eng)
+	defer waitServeExit(t, cancel, done)
+
+	// Markov generation caches lazily and is not goroutine-safe: build
+	// the prompts serially, submit concurrently.
+	mk := workload.NewMarkov(workload.DatasetByName("Alpaca"))
+	const n = 24
+	prompts := make([][]model.Token, n)
+	for i := range prompts {
+		prompts[i] = mk.Generate(tensor.NewRNG(uint64(i)*7+1), 8)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, results, err := eng.Submit(context.Background(), workload.Request{
+				ID: i, Prompt: prompts[i], MaxNewTok: 12,
+			})
+			if err != nil {
+				errs[i] = err // ErrQueueFull is legitimate backpressure
+				return
+			}
+			res := <-results
+			errs[i] = res.Err
+		}(i)
+	}
+	wg.Wait()
+	completed := 0
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			completed++
+		case errors.Is(err, ErrQueueFull):
+		default:
+			t.Fatalf("request %d failed: %v", i, err)
+		}
+	}
+	if completed == 0 {
+		t.Fatal("no request completed")
+	}
+	st := eng.ServeStats()
+	if st.Completed != uint64(completed) {
+		t.Fatalf("stats completed %d, want %d", st.Completed, completed)
+	}
+}

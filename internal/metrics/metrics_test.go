@@ -91,3 +91,63 @@ func TestQuantileMatchesSortPosition(t *testing.T) {
 		t.Fatal("median wrong")
 	}
 }
+
+func TestWindowBelowCapacity(t *testing.T) {
+	w := NewWindow(8)
+	for i := 1; i <= 3; i++ {
+		w.Add(float64(i))
+	}
+	if w.Len() != 3 || w.Total() != 3 {
+		t.Fatalf("len=%d total=%d, want 3/3", w.Len(), w.Total())
+	}
+	vals := w.Values()
+	want := []float64{1, 2, 3}
+	for i := range want {
+		//lint:ignore floateq test compares exactly the values it inserted
+		if vals[i] != want[i] {
+			t.Fatalf("values %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestWindowEvictsOldest(t *testing.T) {
+	w := NewWindow(4)
+	for i := 1; i <= 10; i++ {
+		w.Add(float64(i))
+	}
+	if w.Len() != 4 || w.Total() != 10 {
+		t.Fatalf("len=%d total=%d, want 4/10", w.Len(), w.Total())
+	}
+	vals := w.Values()
+	want := []float64{7, 8, 9, 10}
+	for i := range want {
+		//lint:ignore floateq test compares exactly the values it inserted
+		if vals[i] != want[i] {
+			t.Fatalf("values %v, want %v (oldest-first)", vals, want)
+		}
+	}
+	s := w.Summary()
+	if s.N != 4 || s.Min != 7 || s.Max != 10 {
+		t.Fatalf("summary over window wrong: %+v", s)
+	}
+}
+
+func TestWindowSummaryQuantiles(t *testing.T) {
+	w := NewWindow(100)
+	for i := 1; i <= 100; i++ {
+		w.Add(float64(i))
+	}
+	s := w.Summary()
+	if s.P50 < 49 || s.P50 > 52 || s.P99 < 98 {
+		t.Fatalf("quantiles off: %+v", s)
+	}
+}
+
+func TestWindowRejectsBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity must panic")
+		}
+	}()
+	NewWindow(0)
+}

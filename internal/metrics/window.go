@@ -1,0 +1,62 @@
+package metrics
+
+// Window is a fixed-capacity sliding window over the most recent
+// samples of a stream: once full, each Add overwrites the oldest
+// sample. The serving daemon uses it for live per-request latency
+// quantiles on /metricz — bounded memory under unbounded traffic,
+// and (unlike random reservoir sampling) fully deterministic, so it
+// needs no RNG and stays exercisable in reproducible tests.
+//
+// Window is not goroutine-safe; callers serialize access (the serving
+// layer updates it from the single scheduler goroutine and snapshots
+// it under the stats lock).
+type Window struct {
+	buf  []float64
+	next int  // ring write position
+	full bool // buf has wrapped at least once
+	n    int  // total samples ever added
+}
+
+// NewWindow returns a window retaining the cap most recent samples.
+// cap must be positive.
+func NewWindow(capacity int) *Window {
+	if capacity <= 0 {
+		panic("metrics: Window capacity must be positive")
+	}
+	return &Window{buf: make([]float64, 0, capacity)}
+}
+
+// Add records one sample, evicting the oldest if the window is full.
+func (w *Window) Add(x float64) {
+	w.n++
+	if len(w.buf) < cap(w.buf) {
+		w.buf = append(w.buf, x)
+		return
+	}
+	w.full = true
+	w.buf[w.next] = x
+	w.next++
+	if w.next == cap(w.buf) {
+		w.next = 0
+	}
+}
+
+// Len reports how many samples the window currently retains.
+func (w *Window) Len() int { return len(w.buf) }
+
+// Total reports how many samples were ever added (retained or evicted).
+func (w *Window) Total() int { return w.n }
+
+// Values returns a copy of the retained samples in insertion order
+// (oldest first).
+func (w *Window) Values() []float64 {
+	if !w.full {
+		return append([]float64(nil), w.buf...)
+	}
+	out := make([]float64, 0, len(w.buf))
+	out = append(out, w.buf[w.next:]...)
+	return append(out, w.buf[:w.next]...)
+}
+
+// Summary summarizes the retained samples (see Summarize).
+func (w *Window) Summary() Summary { return Summarize(w.Values()) }

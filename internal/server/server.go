@@ -1,0 +1,418 @@
+// Package server exposes a live core.Engine over HTTP: the JSON API of
+// the specinferd daemon. It is a thin, dependency-free (net/http only)
+// frontend over Engine.Serve/Submit:
+//
+//	POST /v1/generate  — submit a request; streams NDJSON token chunks
+//	                     when "stream" is true, else returns one JSON
+//	                     result. 429 under backpressure, 503 while
+//	                     draining or stopped.
+//	GET  /healthz      — 200 while accepting, 503 while draining/down.
+//	GET  /metricz      — live ServeStats snapshot (queue depth, active
+//	                     slots, tokens/sec, latency quantiles, KV bytes).
+//	/debug/pprof/...   — net/http/pprof profiling endpoints.
+//
+// Client disconnects propagate through the request context into the
+// engine, which retires the request at the next iteration boundary and
+// reclaims its batching slot and KV cache.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"specinfer/internal/core"
+	"specinfer/internal/metrics"
+	"specinfer/internal/model"
+	"specinfer/internal/workload"
+)
+
+// Tokenizer optionally renders token ids as text in responses.
+type Tokenizer interface {
+	Decode(ids []int) string
+}
+
+// Config configures a Server.
+type Config struct {
+	// Engine is the serving engine; Run starts its Serve loop. Required.
+	Engine *core.Engine
+	// Tokenizer, when non-nil, adds a "text" field to generate
+	// responses.
+	Tokenizer Tokenizer
+	// MaxNewTokens caps the per-request generation budget accepted over
+	// HTTP (requests asking for more are clamped). Defaults to 512.
+	MaxNewTokens int
+	// ShutdownTimeout bounds the HTTP server's graceful shutdown after
+	// the engine has drained. Defaults to 5s.
+	ShutdownTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxNewTokens == 0 {
+		c.MaxNewTokens = 512
+	}
+	if c.ShutdownTimeout == 0 {
+		c.ShutdownTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Server is the HTTP frontend of one serving engine.
+type Server struct {
+	cfg    Config
+	eng    *core.Engine
+	mux    *http.ServeMux
+	nextID atomic.Int64
+	// draining flips when Run's context is cancelled, turning /healthz
+	// and /v1/generate away before the engine finishes draining.
+	draining atomic.Bool
+	// addr holds the listener's bound address once Run is up.
+	addr atomic.Value // string
+}
+
+// Addr returns the address Run's listener is bound to, or "" before the
+// listener is up.
+func (s *Server) Addr() string {
+	if a, ok := s.addr.Load().(string); ok {
+		return a
+	}
+	return ""
+}
+
+// New validates the configuration and builds the handler. The engine's
+// Serve loop is started by Run; for tests, StartEngine can run it on a
+// caller-owned context instead.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("server: Config.Engine is required")
+	}
+	s := &Server{cfg: cfg, eng: cfg.Engine, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/generate", s.handleGenerate)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metricz", s.handleMetricz)
+	s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	return s, nil
+}
+
+// Handler returns the HTTP handler (also usable under httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Run serves HTTP on addr until ctx is cancelled, then drains: the
+// engine stops admitting and finishes in-flight requests (bounded by
+// the engine's DrainTimeout), after which the HTTP listener shuts down
+// gracefully. Returns nil on a clean drain. The bound address (useful
+// with ":0") is available from Addr once the listener is up.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s.addr.Store(ln.Addr().String())
+
+	engCtx, engCancel := context.WithCancel(context.Background())
+	defer engCancel()
+	engDone := make(chan error, 1)
+	go func() { engDone <- s.eng.Serve(engCtx) }()
+
+	httpSrv := &http.Server{Handler: s.mux}
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-httpDone:
+		// Listener died (port in use, ...): bring the engine down too.
+		engCancel()
+		<-engDone
+		return fmt.Errorf("server: http listener: %w", err)
+	case <-ctx.Done():
+	}
+
+	// Drain: refuse new work at the HTTP edge, let the engine finish
+	// in-flight requests, then close the listener under a bounded
+	// graceful shutdown (in-flight handlers are still streaming their
+	// final bytes).
+	s.draining.Store(true)
+	engCancel()
+	if err := <-engDone; err != nil {
+		return fmt.Errorf("server: engine drain: %w", err)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("server: http shutdown: %w", err)
+	}
+	<-httpDone // always http.ErrServerClosed after Shutdown
+	return nil
+}
+
+// StartEngine runs the engine's Serve loop on ctx (test hook for using
+// Handler with httptest instead of Run). The returned channel yields
+// Serve's result.
+func (s *Server) StartEngine(ctx context.Context) <-chan error {
+	done := make(chan error, 1)
+	go func() { done <- s.eng.Serve(ctx) }()
+	return done
+}
+
+// SetDraining flips the HTTP edge into drain mode (Run does this
+// automatically; exposed for tests).
+func (s *Server) SetDraining() { s.draining.Store(true) }
+
+// generateRequest is the POST /v1/generate body.
+type generateRequest struct {
+	// Prompt is the prompt as token ids; must be non-empty.
+	Prompt []model.Token `json:"prompt"`
+	// MaxNewTokens bounds the generation; clamped to the server cap.
+	MaxNewTokens int `json:"max_new_tokens"`
+	// Stream selects NDJSON token streaming over a single JSON result.
+	Stream bool `json:"stream,omitempty"`
+	// TimeoutMs optionally bounds the request's wall-clock service time.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// generateResult is the terminal JSON object of both response shapes.
+type generateResult struct {
+	ID           int           `json:"id"`
+	Tokens       []model.Token `json:"tokens"`
+	Text         string        `json:"text,omitempty"`
+	Steps        int           `json:"steps"`
+	AvgCommitted float64       `json:"avg_committed"`
+	QueueDelayMs float64       `json:"queue_delay_ms"`
+	LatencyMs    float64       `json:"latency_ms"`
+	Error        string        `json:"error,omitempty"`
+}
+
+// streamChunk is one NDJSON line of a streaming response.
+type streamChunk struct {
+	Tokens []model.Token   `json:"tokens,omitempty"`
+	Done   bool            `json:"done,omitempty"`
+	Result *generateResult `json:"result,omitempty"`
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, core.ErrDraining.Error())
+		return
+	}
+	var req generateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "malformed JSON body: "+err.Error())
+		return
+	}
+	if len(req.Prompt) == 0 {
+		httpError(w, http.StatusBadRequest, "prompt must be a non-empty array of token ids")
+		return
+	}
+	vocab := s.eng.Config().LLM.VocabSize()
+	for _, tok := range req.Prompt {
+		if tok < 0 || tok >= vocab {
+			httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("prompt token %d outside vocabulary [0, %d)", tok, vocab))
+			return
+		}
+	}
+	if req.MaxNewTokens <= 0 || req.MaxNewTokens > s.cfg.MaxNewTokens {
+		req.MaxNewTokens = s.cfg.MaxNewTokens
+	}
+
+	// The request context carries the client disconnect: the engine
+	// retires the request and reclaims its slot and KV cache at the
+	// next iteration boundary.
+	ctx := r.Context()
+	if req.TimeoutMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+		defer cancel()
+	}
+
+	id := int(s.nextID.Add(1))
+	tokens, results, err := s.eng.Submit(ctx, workload.Request{
+		ID:        id,
+		Prompt:    req.Prompt,
+		MaxNewTok: req.MaxNewTokens,
+	})
+	switch {
+	case err == nil:
+	case errors.Is(err, core.ErrQueueFull):
+		httpError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, core.ErrDraining), errors.Is(err, core.ErrNotServing):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	if req.Stream {
+		s.streamResponse(w, tokens, results)
+		return
+	}
+	res := <-results
+	out := s.renderResult(res)
+	status := http.StatusOK
+	if res.Err != nil {
+		// Deadline expiry still reports the partial generation; other
+		// retirement reasons surface as a gateway-side abort.
+		if errors.Is(res.Err, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		} else {
+			status = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, status, out)
+}
+
+// streamResponse writes NDJSON: one {"tokens":[...]} chunk per batch of
+// committed tokens, then a terminal {"done":true,"result":{...}} line.
+func (s *Server) streamResponse(w http.ResponseWriter, tokens <-chan model.Token, results <-chan core.Result) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	// Flush the headers now so a queued request's client sees the 200
+	// before the first token commits.
+	flush()
+	for tok := range tokens {
+		chunk := streamChunk{Tokens: []model.Token{tok}}
+		// Coalesce whatever else the iteration already committed.
+	coalesce:
+		for {
+			select {
+			case more, ok := <-tokens:
+				if !ok {
+					break coalesce
+				}
+				chunk.Tokens = append(chunk.Tokens, more)
+			default:
+				break coalesce
+			}
+		}
+		if err := enc.Encode(chunk); err != nil {
+			return // client went away; engine retires via ctx
+		}
+		flush()
+	}
+	res := <-results
+	out := s.renderResult(res)
+	if err := enc.Encode(streamChunk{Done: true, Result: &out}); err != nil {
+		return
+	}
+	flush()
+}
+
+func (s *Server) renderResult(res core.Result) generateResult {
+	out := generateResult{
+		ID:           res.ID,
+		Tokens:       res.Output,
+		Steps:        res.Steps,
+		AvgCommitted: res.AvgCommitted(),
+		QueueDelayMs: float64(res.QueueDelay) / float64(time.Millisecond),
+		LatencyMs:    float64(res.Latency) / float64(time.Millisecond),
+	}
+	if out.Tokens == nil {
+		out.Tokens = []model.Token{}
+	}
+	if res.Err != nil {
+		out.Error = res.Err.Error()
+	}
+	if s.cfg.Tokenizer != nil {
+		out.Text = s.cfg.Tokenizer.Decode(res.Output)
+	}
+	return out
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() || !s.eng.Serving() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// metriczResponse is the GET /metricz body.
+type metriczResponse struct {
+	Serving         bool            `json:"serving"`
+	Draining        bool            `json:"draining"`
+	QueueDepth      int             `json:"queue_depth"`
+	QueueCap        int             `json:"queue_cap"`
+	ActiveRequests  int             `json:"active_requests"`
+	MaxBatch        int             `json:"max_batch"`
+	Submitted       uint64          `json:"submitted"`
+	Completed       uint64          `json:"completed"`
+	Canceled        uint64          `json:"canceled"`
+	Rejected        uint64          `json:"rejected"`
+	Iterations      uint64          `json:"iterations"`
+	TokensCommitted uint64          `json:"tokens_committed"`
+	TokensPerSec    float64         `json:"tokens_per_sec"`
+	UptimeSeconds   float64         `json:"uptime_seconds"`
+	KVBytesActive   int64           `json:"kv_bytes_active"`
+	LatencyMs       latencyQuantile `json:"latency_ms"`
+	QueueDelayMs    latencyQuantile `json:"queue_delay_ms"`
+}
+
+type latencyQuantile struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+func quantilesMs(s metrics.Summary) latencyQuantile {
+	const ms = 1e3 // summaries are in seconds
+	return latencyQuantile{
+		N: s.N, Mean: s.Mean * ms, P50: s.P50 * ms, P90: s.P90 * ms,
+		P99: s.P99 * ms, Max: s.Max * ms,
+	}
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.ServeStats()
+	writeJSON(w, http.StatusOK, metriczResponse{
+		Serving:         st.Serving,
+		Draining:        st.Draining || s.draining.Load(),
+		QueueDepth:      st.QueueDepth,
+		QueueCap:        st.QueueCap,
+		ActiveRequests:  st.ActiveRequests,
+		MaxBatch:        st.MaxBatch,
+		Submitted:       st.Submitted,
+		Completed:       st.Completed,
+		Canceled:        st.Canceled,
+		Rejected:        st.Rejected,
+		Iterations:      st.Iterations,
+		TokensCommitted: st.TokensCommitted,
+		TokensPerSec:    st.TokensPerSec,
+		UptimeSeconds:   st.UptimeSeconds,
+		KVBytesActive:   st.KVBytesActive,
+		LatencyMs:       quantilesMs(st.Latency),
+		QueueDelayMs:    quantilesMs(st.QueueDelay),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -78,7 +78,7 @@ func VerifyStochastic(dists [][]float32, tr *tree.Tree, policy sampling.Config, 
 				panic("verifier: stochastic verification requires proposal distributions on speculated nodes")
 			}
 			qx := float64(q[x])
-			if qx > 0 && rng.Float64() <= float64(p[x])/qx {
+			if qx > 0 && acceptDraft(rng.Float64(), float64(p[x]), qx) {
 				accepted = s.node
 				break
 			}
@@ -106,6 +106,19 @@ func VerifyStochastic(dists [][]float32, tr *tree.Tree, policy sampling.Config, 
 	// leaf's own LLM distribution.
 	verified = append(verified, policy.Sample(rng, dists[u]))
 	return verified
+}
+
+// acceptDraft is MSS's per-draft acceptance test: a draft token with
+// target mass p and proposal mass q is accepted iff u < min(1, p/q),
+// where u is a uniform draw from [0, 1). The comparison is strict and
+// guarded on p > 0: with the historical `u <= p/q` form, a token the
+// policy-transformed LLM distribution zeroes out (p == 0) would be
+// accepted whenever u drew exactly 0, putting mass on a token the
+// target assigns none — violating Theorem 4.2's distribution-
+// preservation guarantee. Written as u*q < p to avoid the division
+// (equivalent for q > 0, and q <= 0 rejects either way).
+func acceptDraft(u, p, q float64) bool {
+	return q > 0 && p > 0 && u*q < p
 }
 
 // VerifyNaive is the naive-sampling baseline of §4.3: sample the next

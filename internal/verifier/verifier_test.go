@@ -289,3 +289,66 @@ func TestMSSZeroProposalProbability(t *testing.T) {
 		t.Fatalf("zero-probability child must be rejected, got %v", got)
 	}
 }
+
+// TestAcceptDraftZeroTargetMass is the exact regression test for the
+// zero-probability acceptance bug: with the historical `u <= p/q`
+// acceptance rule, a draw of exactly u == 0 accepted a token whose
+// target mass is zero. The rule must reject p == 0 for EVERY u,
+// including the u == 0 corner the RNG can legitimately produce.
+func TestAcceptDraftZeroTargetMass(t *testing.T) {
+	if acceptDraft(0, 0, 0.97) {
+		t.Fatal("u=0 accepted a token with zero target probability (Theorem 4.2 violated)")
+	}
+	for _, u := range []float64{0, 1e-300, 0.25, 0.999999} {
+		if acceptDraft(u, 0, 0.5) {
+			t.Fatalf("u=%v accepted zero-target-mass token", u)
+		}
+	}
+}
+
+// TestAcceptDraftBoundaries pins the rest of the acceptance rule:
+// min(1, p/q) semantics, strict comparison, and rejection of degenerate
+// proposal mass.
+func TestAcceptDraftBoundaries(t *testing.T) {
+	cases := []struct {
+		u, p, q float64
+		want    bool
+	}{
+		{0, 0.5, 0.5, true},         // ratio 1, u=0 accepts
+		{0.9999999, 0.5, 0.5, true}, // ratio 1: every u in [0,1) accepts
+		{0.9999999, 0.9, 0.3, true}, // ratio > 1 always accepts
+		{0.5, 0.25, 0.5, false},     // u above the ratio rejects
+		{0.49, 0.25, 0.5, true},     // u below the ratio accepts
+		{0.5, 0.25, 0.5, false},     // u == ratio rejects (strict)
+		{0.25, 0.5, 0, false},       // no proposal mass: reject
+		{0, 1e-30, 1, true},         // tiny but positive target accepts at u=0
+	}
+	for _, c := range cases {
+		if got := acceptDraft(c.u, c.p, c.q); got != c.want {
+			t.Fatalf("acceptDraft(%v, %v, %v) = %v, want %v", c.u, c.p, c.q, got, c.want)
+		}
+	}
+}
+
+// TestMSSNeverCommitsPolicyZeroedToken is the adversarial integration
+// check: the SSM piles its proposal mass on a token the TOP-K-transformed
+// LLM distribution zeroes out. No RNG stream may ever commit that token —
+// neither by accepting the draft (the fixed acceptance rule) nor from the
+// residual (zero mass there by construction).
+func TestMSSNeverCommitsPolicyZeroedToken(t *testing.T) {
+	p := []float32{0.5, 0.4, 0.06, 0.04}   // top-2 keeps tokens 0 and 1
+	q := []float32{0.01, 0.01, 0.01, 0.97} // SSM pushes token 3
+	policy := sampling.Config{Mode: sampling.Stochastic, Temperature: 1, TopK: 2}
+	for seed := uint64(1); seed <= 32; seed++ {
+		rng := tensor.NewRNG(seed)
+		for i := 0; i < 500; i++ {
+			c := rng.SampleCategorical(q)
+			tr := tree.New(9)
+			tr.AddProposal(tr.Root(), c, q[c], 0, q)
+			got := VerifyStochastic(fixedDists(tr, p), tr, policy, rng)
+			if got[0] >= 2 {
+				t.Fatalf("seed %d: committed token %d, zeroed by top-2 policy", seed, got[0])
+			}
+		}
+	}
+}

@@ -1,0 +1,67 @@
+#!/bin/sh
+# End-to-end smoke test of the specinferd serving daemon: boot it, wait
+# for health, run one generation, scrape metrics, then SIGTERM and
+# require a clean (exit 0) graceful drain. CI runs this after the unit
+# gate; `make servesmoke` runs it locally.
+set -eu
+
+ADDR="${SPECINFERD_ADDR:-127.0.0.1:18080}"
+BIN="${SPECINFERD_BIN:-./specinferd.smoke}"
+
+go build -o "$BIN" ./cmd/specinferd
+trap 'rm -f "$BIN"' EXIT
+
+"$BIN" -addr "$ADDR" -batch 2 -queue 8 &
+PID=$!
+
+# Wait (up to ~10s) for the daemon to come up.
+up=0
+i=0
+while [ "$i" -lt 40 ]; do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then
+        up=1
+        break
+    fi
+    i=$((i + 1))
+    sleep 0.25
+done
+if [ "$up" -ne 1 ]; then
+    echo "servesmoke: daemon never became healthy" >&2
+    kill "$PID" 2>/dev/null || true
+    exit 1
+fi
+
+echo "servesmoke: generate"
+out=$(curl -sf -X POST "http://$ADDR/v1/generate" \
+    -d '{"prompt":[5,9,2],"max_new_tokens":12}')
+echo "$out"
+case "$out" in
+*'"tokens":['*) ;;
+*)
+    echo "servesmoke: generate response missing tokens" >&2
+    kill "$PID" 2>/dev/null || true
+    exit 1
+    ;;
+esac
+
+echo "servesmoke: metricz"
+metrics=$(curl -sf "http://$ADDR/metricz")
+echo "$metrics"
+case "$metrics" in
+*'"completed":1'*) ;;
+*)
+    echo "servesmoke: metricz did not record the completed request" >&2
+    kill "$PID" 2>/dev/null || true
+    exit 1
+    ;;
+esac
+
+echo "servesmoke: SIGTERM drain"
+kill -TERM "$PID"
+if wait "$PID"; then
+    echo "servesmoke: clean drain (exit 0)"
+else
+    code=$?
+    echo "servesmoke: daemon exited $code after SIGTERM" >&2
+    exit 1
+fi
