@@ -40,8 +40,9 @@ serve:
 servesmoke:
 	./scripts/servesmoke.sh
 
-# Full measurement run with a pinned benchtime; writes BENCH_PR3.json
+# Full measurement run with a pinned benchtime; writes BENCH_PR5.json
 # (benchmark -> ns/op, ns/token, allocs/op, plus paged-vs-slice,
-# paged-vs-reference, and batched-vs-reference speedups) at the repo root.
+# paged-vs-reference, batched-vs-reference, and prefix-cache
+# warm-vs-cold speedups) at the repo root.
 bench:
-	$(GO) run ./cmd/perfbench -benchtime 1s -o BENCH_PR3.json
+	$(GO) run ./cmd/perfbench -benchtime 1s -o BENCH_PR5.json

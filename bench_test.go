@@ -139,7 +139,8 @@ func BenchmarkForward(b *testing.B) {
 
 // BenchmarkEngineIteration runs the continuous-batching engine loop at
 // batch sizes 1–16 on the transformer substrate (parallel worker pool),
-// plus the serial pre-batching baseline at batch 8.
+// plus the serial pre-batching baseline at batch 8 and the PR 5
+// shared-prefix TTFT scenario (prefix cache warm vs cold).
 func BenchmarkEngineIteration(b *testing.B) {
 	for _, pb := range bench.PerfSuite() {
 		if strings.HasPrefix(pb.Name, "engine/") {

@@ -104,6 +104,9 @@ func main() {
 			pairs = append(pairs,
 				pairing{base + "/vs-slice", base + "/slice"},
 				pairing{base + "/vs-ref", base + "/ref"})
+		case strings.HasSuffix(pb.Name, "/warm"):
+			base := strings.TrimSuffix(pb.Name, "/warm")
+			pairs = append(pairs, pairing{base, base + "/cold"})
 		default:
 			continue
 		}

@@ -58,6 +58,7 @@ func main() {
 		queue      = flag.Int("queue", 64, "admission queue depth (backpressure bound)")
 		drain      = flag.Duration("drain-timeout", 30*time.Second, "bound on graceful drain; 0 waits for all in-flight requests")
 		maxNew     = flag.Int("max-new-tokens", 256, "per-request generation budget cap accepted over HTTP")
+		prefixMB   = flag.Int64("prefix-cache-mb", 0, "cross-request prefix KV cache budget in MiB, 0 disables (effective on paged-KV models; n-gram models fall back to cold prefill)")
 	)
 	flag.Parse()
 
@@ -77,6 +78,9 @@ func main() {
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		DrainTimeout: *drain,
+	}
+	if *prefixMB > 0 {
+		cfg.PrefixCacheBytes = *prefixMB << 20
 	}
 	if *stochastic {
 		cfg.Sample = sampling.Config{

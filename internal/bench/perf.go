@@ -242,6 +242,51 @@ func engineBench(batch int, serialRef bool) func(*testing.B) {
 	}
 }
 
+// prefixBench measures time-to-first-token under shared-prefix traffic:
+// `batch` requests whose prompts open with the same prefixLen-token
+// prefix and diverge into 16-token suffixes, each generating exactly ONE
+// token — so an op's cost is dominated by prefill, the TTFT component.
+// warm enables the cross-request prefix cache (the engine is rebuilt
+// every op, so all sharing happens inside the measured batch: the first
+// prefill is cold and seeds the cache, the rest adopt the shared pages
+// and compute only their suffixes); cold runs the identical trace with
+// the cache disabled. warm-vs-cold is the tentpole speedup.
+func prefixBench(batch, prefixLen int, warm bool) func(*testing.B) {
+	return func(b *testing.B) {
+		llm, ssm := perfModels()
+		rng := tensor.NewRNG(6060)
+		prefix := make([]model.Token, prefixLen)
+		for i := range prefix {
+			prefix[i] = rng.Intn(256)
+		}
+		reqs := make([]workload.Request, batch)
+		for i := range reqs {
+			p := append([]model.Token(nil), prefix...)
+			for j := 0; j < 16; j++ {
+				p = append(p, rng.Intn(256))
+			}
+			reqs[i] = workload.Request{ID: i, Prompt: p, MaxNewTok: 1}
+		}
+		cfg := core.Config{
+			Mode: core.TreeSpec, LLM: llm, SSMs: []model.Model{ssm},
+			Sample: sampling.GreedyConfig(), Seed: 17, MaxBatch: batch,
+		}
+		if warm {
+			cfg.PrefixCacheBytes = 256 << 20
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e, err := core.NewEngine(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e.Run(reqs)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(batch), "ns/token")
+	}
+}
+
 // PerfSuite returns the full microbenchmark suite: batched vs reference
 // forward passes (prefill, decode, tree verification at widths 1–5), the
 // long-context cache-layout sweep (committed context 128/512/1024 on the
@@ -281,6 +326,10 @@ func PerfSuite() []PerfBenchmark {
 		add(perfEngineName(bs, false), float64(bs*perfGenLen), engineBench(bs, false))
 	}
 	add(perfEngineName(8, true), float64(8*perfGenLen), engineBench(8, true))
+	// PR 5 tentpole scenario: TTFT under shared-prefix traffic, prefix
+	// cache on vs off (acceptance gate: warm >= 3x cold).
+	add("engine/prefix/shared512x16/warm", 16, prefixBench(16, 512, true))
+	add("engine/prefix/shared512x16/cold", 16, prefixBench(16, 512, false))
 	return out
 }
 

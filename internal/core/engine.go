@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"specinfer/internal/kvcache"
 	"specinfer/internal/model"
 	"specinfer/internal/sampling"
 	"specinfer/internal/speculator"
@@ -104,6 +105,17 @@ type Config struct {
 	// first SSM of the pool.
 	Adaptive *speculator.AdaptiveConfig
 
+	// PrefixCacheBytes, when positive, enables the cross-request prefix
+	// KV cache: admissions look up the longest cached prefix of their
+	// prompt and adopt its pages read-only instead of recomputing them,
+	// and committed prompt pages are inserted for later requests (see
+	// kvcache.PrefixCache). The value is the LRU eviction budget in
+	// bytes. Output is bit-identical with the cache on or off; only
+	// models whose sessions expose the paged arena (the transformer
+	// substrate) participate — others prefill cold transparently. Zero
+	// disables the cache.
+	PrefixCacheBytes int64
+
 	// QueueDepth bounds the live admission queue of Serve/Submit: once
 	// MaxBatch slots are busy and QueueDepth requests are waiting,
 	// Submit rejects with ErrQueueFull (backpressure). Defaults to 64.
@@ -178,6 +190,9 @@ func (c Config) validate() error {
 	}
 	if c.DrainTimeout < 0 {
 		return fmt.Errorf("core: negative DrainTimeout %v", c.DrainTimeout)
+	}
+	if c.PrefixCacheBytes < 0 {
+		return fmt.Errorf("core: negative PrefixCacheBytes %d", c.PrefixCacheBytes)
 	}
 	if c.Mode != Incremental && len(c.SSMs) == 0 {
 		return fmt.Errorf("core: %v mode requires at least one SSM", c.Mode)
@@ -254,6 +269,10 @@ type IterationRecord struct {
 	// accounting a memory-aware scheduler needs. 0 when the session does
 	// not report it (model.CacheSizer).
 	CacheBytes []int64
+	// PrefixSharedToks[i] is how many of the i-th request's prompt
+	// tokens its LLM session served from the cross-request prefix cache
+	// at admission (0 on a miss or with the cache disabled).
+	PrefixSharedToks []int
 	// SpecSteps is the number of SSM decoding levels used to build the
 	// trees (0 for incremental).
 	SpecSteps int
@@ -263,6 +282,10 @@ type IterationRecord struct {
 // traffic via Serve/Submit (see serve.go).
 type Engine struct {
 	cfg Config
+
+	// prefix is the cross-request prefix KV cache, non-nil when
+	// Config.PrefixCacheBytes is set (see prefix.go).
+	prefix *kvcache.PrefixCache
 
 	// mu guards srv, the live-serving state installed by Serve. The
 	// offline paths never touch it.
@@ -279,7 +302,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg}, nil
+	e := &Engine{cfg: cfg}
+	e.wrapPrefixCache()
+	return e, nil
 }
 
 // Config returns the engine's effective configuration.
@@ -396,6 +421,11 @@ func (e *Engine) runIteration(active []*reqState) IterationRecord {
 		rec.Committed = append(rec.Committed, sh.committed)
 		rec.CtxLens = append(rec.CtxLens, st.llm.Len())
 		rec.CacheBytes = append(rec.CacheBytes, sessionCacheBytes(st.llm))
+		shared := 0
+		if ps, ok := st.llm.(prefixShared); ok {
+			shared = ps.PrefixSharedTokens()
+		}
+		rec.PrefixSharedToks = append(rec.PrefixSharedToks, shared)
 	}
 	return rec
 }

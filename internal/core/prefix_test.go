@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"specinfer/internal/model"
+	"specinfer/internal/sampling"
+	"specinfer/internal/tensor"
+	"specinfer/internal/transformer"
+	"specinfer/internal/tree"
+	"specinfer/internal/workload"
+)
+
+// prefixTestModels builds a paged transformer (llm, ssm) pair over the
+// workload vocabulary, so SharedPrefixTrace prompts are valid input.
+func prefixTestModels(arch transformer.Arch, attnWorkers int) (model.Model, model.Model) {
+	llm := transformer.New(transformer.Config{
+		Name: "pfx-llm", Arch: arch, Vocab: 192, Hidden: 32, Heads: 4, FFN: 64,
+		Layers: 2, Seed: 21, AttnWorkers: attnWorkers,
+	})
+	ssm := transformer.New(transformer.Config{
+		Name: "pfx-ssm", Arch: arch, Vocab: 192, Hidden: 16, Heads: 2, FFN: 32,
+		Layers: 1, Seed: 22, AttnWorkers: attnWorkers,
+	})
+	return llm, ssm
+}
+
+func prefixTrace(n int) []workload.Request {
+	mk := workload.NewMarkov(workload.DatasetByName("Alpaca"))
+	// 70-token shared prefix spans one full 64-row KV page plus a tail.
+	return mk.SharedPrefixTrace(tensor.NewRNG(777), n, 70, 6, 8)
+}
+
+// TestPrefixCacheBitExactAcrossConfigs is the tentpole's golden gate:
+// enabling the prefix cache must not change a single output token — for
+// both architectures, greedy and stochastic sampling, and across the
+// engine-worker x attention-worker parallelism grid. The warm run must
+// also actually hit the cache, so the equality is not vacuous.
+func TestPrefixCacheBitExactAcrossConfigs(t *testing.T) {
+	reqs := prefixTrace(4)
+	for _, arch := range []transformer.Arch{transformer.ArchLLaMA, transformer.ArchOPT} {
+		for _, sample := range []sampling.Config{sampling.GreedyConfig(), sampling.StochasticConfig()} {
+			for _, workers := range []int{1, 2} {
+				for _, attn := range []int{1, 3} {
+					name := fmt.Sprintf("%v/%v/workers=%d/attnworkers=%d", arch, sample.Mode, workers, attn)
+					t.Run(name, func(t *testing.T) {
+						mk := func(pcBytes int64) Config {
+							llm, ssm := prefixTestModels(arch, attn)
+							return Config{
+								Mode: TreeSpec, LLM: llm, SSMs: []model.Model{ssm},
+								Expansion: tree.WidthConfig(2)[:3],
+								Sample:    sample, Seed: 17,
+								MaxBatch: 2, Workers: workers,
+								PrefixCacheBytes: pcBytes,
+							}
+						}
+						coldEng := mustEngine(t, mk(0))
+						cold, coldIters := coldEng.Run(reqs)
+						warmEng := mustEngine(t, mk(64<<20))
+						warm, warmIters := warmEng.Run(reqs)
+
+						if !reflect.DeepEqual(cold, warm) {
+							t.Fatal("warm outputs differ from cold prefill")
+						}
+						st := warmEng.PrefixCacheStats()
+						if st.Hits == 0 {
+							t.Fatalf("warm run never hit the cache: %+v", st)
+						}
+						if st.Pinned != 0 {
+							t.Fatalf("%d pins leaked after Run", st.Pinned)
+						}
+
+						// Iteration records: the warm run must report shared
+						// prompt tokens for at least one request, the cold run
+						// none; and the token-level records must agree.
+						checkSharedToks := func(iters []IterationRecord, wantAny bool) {
+							t.Helper()
+							total := 0
+							for i, rec := range iters {
+								if len(rec.PrefixSharedToks) != len(rec.ReqIDs) {
+									t.Fatalf("iter %d: PrefixSharedToks has %d entries for %d requests",
+										i, len(rec.PrefixSharedToks), len(rec.ReqIDs))
+								}
+								for _, n := range rec.PrefixSharedToks {
+									total += n
+								}
+							}
+							if wantAny && total == 0 {
+								t.Fatal("warm iteration records report no shared tokens")
+							}
+							if !wantAny && total != 0 {
+								t.Fatalf("cold iteration records report %d shared tokens", total)
+							}
+						}
+						checkSharedToks(coldIters, false)
+						checkSharedToks(warmIters, true)
+					})
+				}
+			}
+		}
+	}
+}
+
+func mustEngine(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestPrefixCacheWithNonPagedModels: models whose sessions cannot share
+// pages (the n-gram substrate) must run unchanged under an enabled
+// cache — the wrapper falls back to cold prefill and records nothing.
+func TestPrefixCacheWithNonPagedModels(t *testing.T) {
+	llm, ssm, reqs := testModels(t, 4, 16)
+	base, _ := run(t, Config{
+		Mode: TreeSpec, LLM: llm, SSMs: []model.Model{ssm},
+		Sample: sampling.GreedyConfig(), Seed: 9, MaxBatch: 2,
+	}, reqs)
+	e, err := NewEngine(Config{
+		Mode: TreeSpec, LLM: llm, SSMs: []model.Model{ssm},
+		Sample: sampling.GreedyConfig(), Seed: 9, MaxBatch: 2,
+		PrefixCacheBytes: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, _ := e.Run(reqs)
+	if !reflect.DeepEqual(base, cached) {
+		t.Fatal("enabling the prefix cache changed n-gram outputs")
+	}
+	st := e.PrefixCacheStats()
+	if st.Hits != 0 || st.Misses != 0 || st.Inserts != 0 {
+		t.Fatalf("n-gram sessions touched the prefix cache: %+v", st)
+	}
+}
+
+// TestPrefixCacheRejectsNegativeBudget pins the config validation.
+func TestPrefixCacheRejectsNegativeBudget(t *testing.T) {
+	llm, _, _ := testModels(t, 1, 1)
+	if _, err := NewEngine(Config{
+		Mode: Incremental, LLM: llm, Sample: sampling.GreedyConfig(),
+		PrefixCacheBytes: -1,
+	}); err == nil {
+		t.Fatal("negative PrefixCacheBytes accepted")
+	}
+}

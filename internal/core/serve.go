@@ -7,10 +7,18 @@ import (
 	"sync"
 	"time"
 
+	"specinfer/internal/kvcache"
 	"specinfer/internal/metrics"
 	"specinfer/internal/model"
 	"specinfer/internal/workload"
 )
+
+// recentThroughputSamples is how many recent iteration boundaries the
+// sliding-window throughput of ServeStats spans: at serving iteration
+// rates the window covers the last few seconds of traffic, and after an
+// idle period the stretched window decays the rate toward zero instead
+// of reporting a stale lifetime average as if it were current.
+const recentThroughputSamples = 128
 
 // Live-serving errors. The HTTP layer maps them to status codes
 // (ErrQueueFull -> 429, ErrDraining/ErrNotServing -> 503).
@@ -99,6 +107,11 @@ type serveState struct {
 	kvBytes    int64
 	latency    *metrics.Window
 	queueDelay *metrics.Window
+	// recentT/recentC pair (uptime seconds, cumulative committed
+	// tokens) at the last recentThroughputSamples iteration boundaries,
+	// backing the sliding-window throughput figure.
+	recentT *metrics.Window
+	recentC *metrics.Window
 }
 
 // ServeStats is a point-in-time snapshot of the live serving loop, the
@@ -126,9 +139,22 @@ type ServeStats struct {
 	// TokensPerSec the lifetime commit throughput.
 	UptimeSeconds float64
 	TokensPerSec  float64
+	// RecentTokensPerSec is the commit throughput over the last
+	// recentThroughputSamples iteration boundaries — the "current"
+	// figure the lifetime average cannot provide once traffic pauses
+	// (it keeps averaging the idle time in, while the recent figure
+	// decays toward zero). RecentWindowSeconds is the span the recent
+	// figure covers; both are 0 before the second iteration.
+	RecentTokensPerSec  float64
+	RecentWindowSeconds float64
 	// Latency and QueueDelay summarize the most recent completed
 	// requests (Config.LatencyWindow of them), in seconds.
 	Latency, QueueDelay metrics.Summary
+	// PrefixCache snapshots the cross-request prefix KV cache;
+	// PrefixCacheEnabled is false (and the stats zero) when
+	// Config.PrefixCacheBytes is unset.
+	PrefixCacheEnabled bool
+	PrefixCache        kvcache.PrefixStats
 }
 
 // Serve runs the live scheduler loop until ctx is cancelled and the
@@ -153,6 +179,8 @@ func (e *Engine) Serve(ctx context.Context) error {
 		started:    e.cfg.Clock(),
 		latency:    metrics.NewWindow(e.cfg.LatencyWindow),
 		queueDelay: metrics.NewWindow(e.cfg.LatencyWindow),
+		recentT:    metrics.NewWindow(recentThroughputSamples),
+		recentC:    metrics.NewWindow(recentThroughputSamples),
 	}
 	e.mu.Lock()
 	if e.srv != nil {
@@ -168,10 +196,14 @@ func (e *Engine) Serve(ctx context.Context) error {
 	var drainDeadline time.Time
 
 	for {
-		// Enter draining at the first sign of shutdown.
+		// Enter draining at the first sign of shutdown. Queued-but-
+		// unadmitted requests are retired with ErrDraining right here,
+		// not when the loop exits: their clients should see the 503
+		// immediately, not after the longest in-flight request finishes.
 		if !draining && ctx.Err() != nil {
 			draining = true
 			s.setDraining()
+			e.rejectQueued(s)
 			if e.cfg.DrainTimeout > 0 {
 				drainDeadline = s.clock().Add(e.cfg.DrainTimeout)
 			}
@@ -179,8 +211,12 @@ func (e *Engine) Serve(ctx context.Context) error {
 
 		// Admission: fill free slots from the queue without blocking
 		// (iteration-level scheduling — new requests join as soon as a
-		// slot frees up, not when the batch drains).
+		// slot frees up, not when the batch drains). Dead-context
+		// requests are swept out of the queue first so they never hold
+		// a queue slot against live submitters (a full-but-dead queue
+		// would bounce Submit with spurious ErrQueueFull).
 		if !draining {
+			e.sweepQueue(s)
 		fill:
 			for len(active) < e.cfg.MaxBatch {
 				select {
@@ -305,8 +341,15 @@ func (e *Engine) ServeStats() ServeStats {
 	e.mu.Lock()
 	s := e.srv
 	e.mu.Unlock()
+	var prefix kvcache.PrefixStats
+	if e.prefix != nil {
+		prefix = e.prefix.Stats()
+	}
 	if s == nil {
-		return ServeStats{MaxBatch: e.cfg.MaxBatch, QueueCap: e.cfg.QueueDepth}
+		return ServeStats{
+			MaxBatch: e.cfg.MaxBatch, QueueCap: e.cfg.QueueDepth,
+			PrefixCacheEnabled: e.prefix != nil, PrefixCache: prefix,
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -326,10 +369,25 @@ func (e *Engine) ServeStats() ServeStats {
 		KVBytesActive:   s.kvBytes,
 		Latency:         s.latency.Summary(),
 		QueueDelay:      s.queueDelay.Summary(),
+
+		PrefixCacheEnabled: e.prefix != nil,
+		PrefixCache:        prefix,
 	}
 	st.UptimeSeconds = s.clock().Sub(s.started).Seconds()
 	if st.UptimeSeconds > 0 {
 		st.TokensPerSec = float64(s.tokens) / st.UptimeSeconds
+	}
+	// Recent throughput: tokens committed since the oldest retained
+	// iteration sample, over the time elapsed since it. The oldest
+	// sample's own tokens are stamped at its time, so they fall outside
+	// the interval — the rate covers strictly-later commits.
+	if ts := s.recentT.Values(); len(ts) > 0 {
+		cs := s.recentC.Values()
+		span := st.UptimeSeconds - ts[0]
+		st.RecentWindowSeconds = span
+		if span > 0 {
+			st.RecentTokensPerSec = (float64(s.tokens) - cs[0]) / span
+		}
 	}
 	return st
 }
@@ -420,6 +478,57 @@ func (e *Engine) finishLive(s *serveState, st *reqState, err error) {
 	st.live.finish(res)
 }
 
+// sweepQueue retires queued-but-unadmitted requests whose context is
+// already cancelled or expired. Without it a dead request occupies its
+// admission-queue slot until a batch slot frees up to admit (and only
+// then discard) it, so a queue full of dead requests bounces live
+// Submit calls with ErrQueueFull. Draining and requeuing the channel
+// under s.mu is race-free: Submit only sends while holding s.mu, so no
+// send can interleave with the drain-filter-requeue cycle and the
+// survivors keep their arrival order.
+func (e *Engine) sweepQueue(s *serveState) {
+	var dead []*liveReq
+	s.mu.Lock()
+	for i, n := 0, len(s.admit); i < n; i++ {
+		lr := <-s.admit
+		if lr.ctx.Err() != nil {
+			dead = append(dead, lr)
+		} else {
+			s.admit <- lr
+		}
+	}
+	s.canceled += uint64(len(dead))
+	s.mu.Unlock()
+	for _, lr := range dead {
+		lr.finish(Result{
+			RequestResult: RequestResult{ID: lr.req.ID, PromptLen: len(lr.req.Prompt)},
+			Err:           lr.ctx.Err(),
+			Latency:       s.clock().Sub(lr.submitted),
+		})
+	}
+}
+
+// rejectQueued retires every queued-but-unadmitted request with
+// ErrDraining, called the moment drain starts. Submit already rejects
+// under s.draining, so once the queue is emptied here no new request
+// can enter it.
+func (e *Engine) rejectQueued(s *serveState) {
+	var queued []*liveReq
+	s.mu.Lock()
+	for i, n := 0, len(s.admit); i < n; i++ {
+		queued = append(queued, <-s.admit)
+	}
+	s.canceled += uint64(len(queued))
+	s.mu.Unlock()
+	for _, lr := range queued {
+		lr.finish(Result{
+			RequestResult: RequestResult{ID: lr.req.ID, PromptLen: len(lr.req.Prompt)},
+			Err:           ErrDraining,
+			Latency:       s.clock().Sub(lr.submitted),
+		})
+	}
+}
+
 // stopServing detaches the serve state from the engine and rejects any
 // requests still sitting in the admission queue. After it returns,
 // Submit reports ErrNotServing.
@@ -461,9 +570,12 @@ func (s *serveState) recordIteration(rec IterationRecord) {
 	for _, c := range rec.Committed {
 		toks += uint64(c)
 	}
+	now := s.clock()
 	s.mu.Lock()
 	s.iterations++
 	s.tokens += toks
+	s.recentT.Add(now.Sub(s.started).Seconds())
+	s.recentC.Add(float64(s.tokens))
 	s.mu.Unlock()
 }
 

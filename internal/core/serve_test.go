@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"specinfer/internal/metrics"
 	"specinfer/internal/model"
 	"specinfer/internal/sampling"
 	"specinfer/internal/tensor"
@@ -581,4 +582,218 @@ func TestServeConcurrentSubmitters(t *testing.T) {
 	if st.Completed != uint64(completed) {
 		t.Fatalf("stats completed %d, want %d", st.Completed, completed)
 	}
+}
+
+// TestServeSweepsDeadQueuedRequests is the regression test for the
+// admission-queue sweep: requests whose context dies while QUEUED used
+// to sit in the admission channel until a batch slot freed up to admit
+// (and only then discard) them, so a queue full of dead requests bounced
+// live submitters with spurious ErrQueueFull. The sweep must retire them
+// at the next iteration boundary even though the only batch slot never
+// frees.
+func TestServeSweepsDeadQueuedRequests(t *testing.T) {
+	llm := &slowModel{vocab: 8, tok: 3, delay: 2 * time.Millisecond}
+	eng, err := NewEngine(Config{
+		Mode: Incremental, LLM: llm, Sample: sampling.GreedyConfig(),
+		Seed: 1, MaxBatch: 1, QueueDepth: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelServe, done := startServe(t, eng)
+	defer waitServeExit(t, cancelServe, done)
+
+	// A occupies the only slot for the whole test.
+	ctxA, cancelA := context.WithCancel(context.Background())
+	_, resA, err := eng.Submit(ctxA, workload.Request{ID: 0, Prompt: []int{1}, MaxNewTok: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStats(t, eng, func(st ServeStats) bool { return st.ActiveRequests == 1 })
+
+	// Fill the queue with requests whose context is already dead.
+	deadCtx, cancelDead := context.WithCancel(context.Background())
+	cancelDead()
+	var deadResults []<-chan Result
+	for i := 1; i <= 2; i++ {
+		_, res, err := eng.Submit(deadCtx, workload.Request{ID: i, Prompt: []int{2}, MaxNewTok: 8})
+		if err != nil {
+			t.Fatalf("Submit dead %d: %v", i, err)
+		}
+		deadResults = append(deadResults, res)
+	}
+
+	// The sweep must retire both while A still holds the slot.
+	for i, res := range deadResults {
+		r := mustResult(t, res, 5*time.Second)
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("dead request %d: err %v, want context.Canceled", i+1, r.Err)
+		}
+		if len(r.Output) != 0 {
+			t.Fatalf("dead request %d committed %d tokens from the queue", i+1, len(r.Output))
+		}
+	}
+
+	// The queue slots they held are live again: a real request is
+	// accepted instead of bouncing with ErrQueueFull.
+	_, resD, err := eng.Submit(context.Background(), workload.Request{ID: 3, Prompt: []int{3}, MaxNewTok: 4})
+	if err != nil {
+		t.Fatalf("Submit after sweep: %v (queue still clogged by dead requests?)", err)
+	}
+	if st := eng.ServeStats(); st.Canceled != 2 {
+		t.Fatalf("canceled count %d, want 2 swept requests", st.Canceled)
+	}
+
+	// Release the slot; D must then run to completion.
+	cancelA()
+	if r := mustResult(t, resA, 5*time.Second); !errors.Is(r.Err, context.Canceled) {
+		t.Fatalf("request A: err %v, want context.Canceled", r.Err)
+	}
+	if r := mustResult(t, resD, 5*time.Second); r.Err != nil || len(r.Output) != 4 {
+		t.Fatalf("request D after sweep: err %v, %d tokens; want clean 4-token completion", r.Err, len(r.Output))
+	}
+}
+
+// TestServeDrainRejectsQueuedImmediately is the regression test for
+// drain-time queue rejection: a QUEUED request used to receive its
+// ErrDraining only in stopServing, after every in-flight request ran to
+// completion — its client waited the full tail latency for a rejection
+// that was decided the moment drain began. The rejection must arrive
+// while the in-flight request is still running.
+func TestServeDrainRejectsQueuedImmediately(t *testing.T) {
+	llm := &slowModel{vocab: 8, tok: 3, delay: 3 * time.Millisecond}
+	eng, err := NewEngine(Config{
+		Mode: Incremental, LLM: llm, Sample: sampling.GreedyConfig(),
+		Seed: 1, MaxBatch: 1, QueueDepth: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelServe, done := startServe(t, eng)
+
+	// A's generation floor is minutes of work; it occupies the only slot
+	// until its context is cancelled.
+	ctxA, cancelA := context.WithCancel(context.Background())
+	_, resA, err := eng.Submit(ctxA, workload.Request{ID: 0, Prompt: []int{1}, MaxNewTok: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStats(t, eng, func(st ServeStats) bool { return st.ActiveRequests == 1 })
+
+	_, resB, err := eng.Submit(context.Background(), workload.Request{ID: 1, Prompt: []int{2}, MaxNewTok: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cancelServe()
+	// B's rejection must not wait for A: it arrives within the drain's
+	// first iterations, orders of magnitude before A's completion floor.
+	rB := mustResult(t, resB, 2*time.Second)
+	if !errors.Is(rB.Err, ErrDraining) {
+		t.Fatalf("queued request err %v, want ErrDraining", rB.Err)
+	}
+	select {
+	case r := <-resA:
+		t.Fatalf("in-flight request already finished (%v) — B's rejection proved nothing", r.Err)
+	default:
+	}
+
+	cancelA()
+	if r := mustResult(t, resA, 5*time.Second); !errors.Is(r.Err, context.Canceled) {
+		t.Fatalf("request A: err %v, want context.Canceled", r.Err)
+	}
+	waitServeExit(t, cancelServe, done)
+}
+
+// manualClock is a hand-advanced clock for deterministic throughput math.
+type manualClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *manualClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *manualClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestServeRecentThroughputTracksCurrentTraffic pins the sliding-window
+// throughput: unlike the lifetime average, the recent figure must follow
+// the CURRENT commit rate once the sample window slides past old
+// traffic, and decay toward zero across idle stretches.
+func TestServeRecentThroughputTracksCurrentTraffic(t *testing.T) {
+	llm := &slowModel{vocab: 8, tok: 3}
+	eng, err := NewEngine(Config{Mode: Incremental, LLM: llm, Sample: sampling.GreedyConfig(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &manualClock{t: time.Unix(1000, 0)}
+	s := &serveState{
+		admit:      make(chan *liveReq, 1),
+		clock:      clk.now,
+		started:    clk.now(),
+		latency:    metrics.NewWindow(8),
+		queueDelay: metrics.NewWindow(8),
+		recentT:    metrics.NewWindow(recentThroughputSamples),
+		recentC:    metrics.NewWindow(recentThroughputSamples),
+	}
+	eng.mu.Lock()
+	eng.srv = s
+	eng.mu.Unlock()
+
+	approx := func(name string, got, want float64) {
+		t.Helper()
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("%s = %v, want %v", name, got, want)
+		}
+	}
+
+	if st := eng.ServeStats(); st.RecentTokensPerSec != 0 || st.RecentWindowSeconds != 0 {
+		t.Fatalf("recent throughput before any iteration: %+v", st)
+	}
+
+	// Phase 1: 200 one-second iterations at 10 tokens each. Lifetime and
+	// recent agree at 10 tok/s (the window holds the last 128 samples,
+	// all from the same steady phase).
+	for i := 0; i < 200; i++ {
+		clk.advance(time.Second)
+		s.recordIteration(IterationRecord{Committed: []int{10}})
+	}
+	st := eng.ServeStats()
+	approx("lifetime after steady phase", st.TokensPerSec, 10)
+	approx("recent after steady phase", st.RecentTokensPerSec, 10)
+
+	// Phase 2: traffic drops to 1 token/s for 100 iterations. The
+	// lifetime average still credits the old burst (7 tok/s); the recent
+	// figure's window now spans iterations 173..300 — 127 seconds, 370
+	// tokens — and reports the drop.
+	for i := 0; i < 100; i++ {
+		clk.advance(time.Second)
+		s.recordIteration(IterationRecord{Committed: []int{1}})
+	}
+	st = eng.ServeStats()
+	approx("lifetime after slowdown", st.TokensPerSec, 7)
+	approx("recent window span", st.RecentWindowSeconds, 127)
+	approx("recent after slowdown", st.RecentTokensPerSec, 370.0/127.0)
+	if st.RecentTokensPerSec >= st.TokensPerSec/2 {
+		t.Fatalf("recent %v did not fall below lifetime %v", st.RecentTokensPerSec, st.TokensPerSec)
+	}
+
+	// Phase 3: 700 idle seconds. Lifetime keeps averaging the idle time
+	// in; recent decays toward zero over the stretched window.
+	clk.advance(700 * time.Second)
+	st = eng.ServeStats()
+	approx("lifetime after idle", st.TokensPerSec, 2.1)
+	approx("recent window after idle", st.RecentWindowSeconds, 827)
+	approx("recent after idle", st.RecentTokensPerSec, 370.0/827.0)
+
+	eng.mu.Lock()
+	eng.srv = nil
+	eng.mu.Unlock()
 }

@@ -46,6 +46,11 @@ type Arena struct {
 	n                           int   // committed positions (uniform across layers)
 	fill                        []int // rows appended per layer, ahead of n during a commit
 	k, v                        [][][]float32
+	// sharedPages is the number of leading pages per stream aliased
+	// read-only from a PrefixCache (see AdoptPrefix). Appends never land
+	// in them: fill starts past the shared region and the boundary page,
+	// if partially filled, is a private copy.
+	sharedPages int
 }
 
 // New allocates an empty arena (no pages are allocated until the first
@@ -147,7 +152,9 @@ func (a *Arena) row(pages [][][]float32, layer, head, pos int) []float32 {
 	return p[off : off+a.hd]
 }
 
-// Bytes reports the page storage currently held, in bytes (K and V).
+// Bytes reports the page storage currently held, in bytes (K and V),
+// counting shared prefix pages as if privately owned (the per-request
+// view; SharedBytes reports the portion actually deduplicated).
 func (a *Arena) Bytes() int {
 	pages := 0
 	for s := range a.k {
@@ -156,9 +163,18 @@ func (a *Arena) Bytes() int {
 	return pages * a.pageRows * a.hd * 4
 }
 
+// SharedBytes reports the portion of Bytes aliased read-only from a
+// prefix cache rather than privately owned (0 for cold arenas).
+func (a *Arena) SharedBytes() int {
+	return a.sharedPages * a.layers * a.heads * 2 * a.pageRows * a.hd * 4
+}
+
 // Release frees every page (each page is an independent allocation, so
 // the storage is reclaimed page-wise) and resets the arena to empty. The
-// arena may be reused afterwards.
+// arena may be reused afterwards. Pages adopted from a prefix cache are
+// merely un-referenced, never mutated, so releasing and reusing an arena
+// whose prefix is still pinned (or cached) elsewhere is safe: the cache
+// and other adopters keep reading the original page storage.
 func (a *Arena) Release() {
 	for s := range a.k {
 		a.k[s], a.v[s] = nil, nil
@@ -167,4 +183,5 @@ func (a *Arena) Release() {
 		a.fill[l] = 0
 	}
 	a.n = 0
+	a.sharedPages = 0
 }

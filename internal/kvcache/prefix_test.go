@@ -1,0 +1,298 @@
+package kvcache
+
+import (
+	"testing"
+
+	"specinfer/internal/tensor"
+)
+
+// tokensN returns the token run [0, 1, ..., n-1] offset by base, so
+// distinct bases give disjoint runs and equal bases give equal runs.
+func tokensN(base, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = base + i
+	}
+	return out
+}
+
+// headRow extracts head h's segment of a hidden-wide row.
+func headRow(row []float32, h, hd int) []float32 { return row[h*hd : (h+1)*hd] }
+
+// checkPrefix verifies that the first n positions of arena a are
+// bitwise identical to the donor rows k/v ([layer][pos][hidden]).
+func checkPrefix(t *testing.T, a *Arena, cfg Config, k, v [][][]float32, n int) {
+	t.Helper()
+	for l := 0; l < cfg.Layers; l++ {
+		for p := 0; p < n; p++ {
+			for h := 0; h < cfg.Heads; h++ {
+				kr := a.KRow(l, h, p)
+				vr := a.VRow(l, h, p)
+				wantK := headRow(k[l][p], h, cfg.HeadDim)
+				wantV := headRow(v[l][p], h, cfg.HeadDim)
+				for d := 0; d < cfg.HeadDim; d++ {
+					if kr[d] != wantK[d] || vr[d] != wantV[d] {
+						t.Fatalf("layer %d pos %d head %d dim %d: adopted K/V %v/%v != donor %v/%v",
+							l, p, h, d, kr[d], vr[d], wantK[d], wantV[d])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPrefixLookupMissThenHit(t *testing.T) {
+	c := NewPrefixCache(1 << 20)
+	a, cfg := testArena(4)
+	rng := tensor.NewRNG(1)
+	toks := tokensN(0, 10) // 2 full pages + 2-row tail
+	k, v := fillRows(a, cfg, rng, len(toks))
+
+	if h := c.Lookup("llm", toks, len(toks)); h != nil {
+		t.Fatalf("lookup on empty cache returned a hit of %d tokens", h.Len())
+	}
+	c.Insert("llm", toks, a)
+
+	// Identical prompt, capped one short of full length: 2 pages match,
+	// the 2-row tail does not fit under maxLen 9, so the match is 8.
+	h := c.Lookup("llm", toks, len(toks)-1)
+	if h == nil || h.Len() != 8 {
+		t.Fatalf("capped lookup = %v, want 8-token hit", h)
+	}
+	h.Release()
+
+	// Uncapped: pages + exact tail = all 10 tokens.
+	h = c.Lookup("llm", toks, len(toks))
+	if h == nil || h.Len() != 10 {
+		t.Fatalf("full lookup = %v, want 10-token hit", h)
+	}
+	b := New(cfg)
+	b.AdoptPrefix(h)
+	if b.Len() != 10 {
+		t.Fatalf("adopted arena Len = %d, want 10", b.Len())
+	}
+	checkPrefix(t, b, cfg, k, v, 10)
+	h.Release()
+
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Inserts != 1 {
+		t.Fatalf("stats = %+v, want 2 hits, 1 miss, 1 insert", st)
+	}
+	if st.TokensShared != 18 {
+		t.Fatalf("TokensShared = %d, want 8+10", st.TokensShared)
+	}
+	if st.Nodes != 2 || st.Tails != 1 {
+		t.Fatalf("stats = %+v, want 2 nodes and 1 tail", st)
+	}
+}
+
+func TestPrefixDivergentSuffixesShareLeadingPages(t *testing.T) {
+	c := NewPrefixCache(1 << 20)
+	a, cfg := testArena(4)
+	rng := tensor.NewRNG(2)
+	shared := tokensN(0, 8) // exactly 2 pages
+	reqA := append(append([]int(nil), shared...), tokensN(100, 6)...)
+	kA, vA := fillRows(a, cfg, rng, len(reqA))
+	c.Insert("llm", reqA, a)
+
+	// A different continuation of the same prefix matches only the
+	// shared pages — not request A's suffix pages or tail.
+	reqB := append(append([]int(nil), shared...), tokensN(200, 6)...)
+	h := c.Lookup("llm", reqB, len(reqB)-1)
+	if h == nil || h.Len() != 8 {
+		t.Fatalf("divergent lookup = %v, want 8-token hit", h)
+	}
+	b := New(cfg)
+	b.AdoptPrefix(h)
+	checkPrefix(t, b, cfg, kA, vA, 8)
+
+	// Shared pages are aliased, not copied: the adopted page is the
+	// same allocation the donor committed into.
+	if &b.k[0][0][0] != &a.k[0][0][0] {
+		t.Fatal("adopted full page is a copy; want an alias of the donor page")
+	}
+	h.Release()
+}
+
+func TestPrefixTailIsCopiedFromBoundaryPage(t *testing.T) {
+	c := NewPrefixCache(1 << 20)
+	a, cfg := testArena(4)
+	rng := tensor.NewRNG(3)
+	toks := tokensN(0, 6) // 1 page + 2-row tail on the donor's boundary page
+	k, v := fillRows(a, cfg, rng, len(toks))
+	c.Insert("llm", toks, a)
+
+	// The donor keeps appending into its boundary page (generated
+	// tokens after the prompt) — the cached tail must not see them.
+	fillRows(a, cfg, rng, 5)
+
+	h := c.Lookup("llm", toks, len(toks))
+	if h == nil || h.Len() != 6 {
+		t.Fatalf("lookup = %v, want 6-token hit", h)
+	}
+	b := New(cfg)
+	b.AdoptPrefix(h)
+	checkPrefix(t, b, cfg, k, v, 6)
+	// And the adopter's boundary page is private: appending beyond the
+	// tail must not disturb the cache or the donor.
+	fillRows(b, cfg, rng, 3)
+	h2 := c.Lookup("llm", toks, len(toks))
+	b2 := New(cfg)
+	b2.AdoptPrefix(h2)
+	checkPrefix(t, b2, cfg, k, v, 6)
+	h.Release()
+	h2.Release()
+}
+
+// TestPrefixReleaseThenReuseWithPinnedPrefix is the satellite safety
+// check: an arena that adopted a shared prefix may be Released and
+// reused while the prefix is still pinned (and cached) — the shared
+// pages are merely dropped from the arena's page lists, never written,
+// so other readers keep seeing the original rows.
+func TestPrefixReleaseThenReuseWithPinnedPrefix(t *testing.T) {
+	c := NewPrefixCache(1 << 20)
+	a, cfg := testArena(4)
+	rng := tensor.NewRNG(4)
+	toks := tokensN(0, 8)
+	k, v := fillRows(a, cfg, rng, len(toks))
+	c.Insert("llm", toks, a)
+
+	h := c.Lookup("llm", toks, len(toks))
+	b := New(cfg)
+	b.AdoptPrefix(h)
+	if b.SharedBytes() == 0 {
+		t.Fatal("adopted arena reports no shared bytes")
+	}
+
+	// Release and refill the adopter with UNRELATED rows while h is
+	// still pinned; the donor's pages must be untouched.
+	b.Release()
+	if b.SharedBytes() != 0 {
+		t.Fatalf("released arena still reports %d shared bytes", b.SharedBytes())
+	}
+	fillRows(b, cfg, rng, 12)
+
+	h2 := c.Lookup("llm", toks, len(toks))
+	if h2 == nil || h2.Len() != 8 {
+		t.Fatalf("lookup after adopter reuse = %v, want 8-token hit", h2)
+	}
+	fresh := New(cfg)
+	fresh.AdoptPrefix(h2)
+	checkPrefix(t, fresh, cfg, k, v, 8)
+	h.Release()
+	h2.Release()
+	h.Release() // idempotent
+}
+
+func TestPrefixLRUEvictionRespectsPinsAndBudget(t *testing.T) {
+	// Geometry: 2 layers x 3 heads x headDim 4, pageRows 4 => one full
+	// page entry is 6 streams * 2 (K+V) * 16 floats * 4 bytes = 768 B.
+	const nodeBytes = 768
+	c := NewPrefixCache(2 * nodeBytes)
+	rng := tensor.NewRNG(5)
+
+	insert := func(base int) []int {
+		a, cfg := testArena(4)
+		toks := tokensN(base, 4)
+		fillRows(a, cfg, rng, 4)
+		c.Insert("llm", toks, a)
+		return toks
+	}
+	t1 := insert(100)
+	t2 := insert(200)
+	if st := c.Stats(); st.Bytes != 2*nodeBytes || st.Evictions != 0 {
+		t.Fatalf("stats after 2 inserts = %+v, want %d bytes, 0 evictions", st, 2*nodeBytes)
+	}
+
+	// Pin t2, then insert a third entry: t1 (oldest unpinned) must go.
+	h2 := c.Lookup("llm", t2, 4)
+	if h2 == nil {
+		t.Fatal("expected t2 hit")
+	}
+	t3 := insert(300)
+	st := c.Stats()
+	if st.Evictions != 1 || st.Bytes != 2*nodeBytes {
+		t.Fatalf("stats after eviction = %+v, want 1 eviction at %d bytes", st, 2*nodeBytes)
+	}
+	if h := c.Lookup("llm", t1, 4); h != nil {
+		t.Fatalf("evicted t1 still hits (%d tokens)", h.Len())
+	}
+	for _, toks := range [][]int{t2, t3} {
+		h := c.Lookup("llm", toks, 4)
+		if h == nil {
+			t.Fatalf("entry %v missing after eviction", toks[:1])
+		}
+		h.Release()
+	}
+
+	// With every surviving entry pinned, a new insert is itself the only
+	// evictable entry and is sacrificed — pinned entries are never
+	// dropped to make room.
+	h3 := c.Lookup("llm", t3, 4)
+	t4 := insert(400)
+	st = c.Stats()
+	if st.Bytes != 2*nodeBytes {
+		t.Fatalf("stats after insert into fully-pinned cache = %+v, want %d bytes", st, 2*nodeBytes)
+	}
+	if h := c.Lookup("llm", t4, 4); h != nil {
+		t.Fatalf("unpinned newcomer survived over pinned entries (%d tokens)", h.Len())
+	}
+	for _, toks := range [][]int{t2, t3} {
+		h := c.Lookup("llm", toks, 4)
+		if h == nil {
+			t.Fatalf("pinned entry %v was evicted", toks[:1])
+		}
+		h.Release()
+	}
+	h2.Release()
+	h3.Release()
+}
+
+func TestPrefixNamespacesAreIsolated(t *testing.T) {
+	c := NewPrefixCache(1 << 20)
+	a, cfg := testArena(4)
+	rng := tensor.NewRNG(6)
+	toks := tokensN(0, 8)
+	fillRows(a, cfg, rng, len(toks))
+	c.Insert("llm", toks, a)
+	if h := c.Lookup("ssm0", toks, len(toks)); h != nil {
+		t.Fatalf("cross-namespace lookup hit %d tokens", h.Len())
+	}
+}
+
+func TestPrefixGuards(t *testing.T) {
+	c := NewPrefixCache(1 << 20)
+	a, cfg := testArena(4)
+	rng := tensor.NewRNG(7)
+	toks := tokensN(0, 8)
+	fillRows(a, cfg, rng, len(toks))
+	c.Insert("llm", toks, a)
+
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	// Insert of more tokens than the arena holds.
+	expectPanic("oversized insert", func() { c.Insert("llm", tokensN(0, 9), a) })
+	// Geometry change within a namespace.
+	expectPanic("geometry mismatch", func() {
+		b := New(Config{Layers: 1, Heads: 1, HeadDim: 4, PageRows: 4})
+		hidden := make([]float32, 4)
+		for i := 0; i < 4; i++ {
+			b.Append(0, hidden, hidden)
+			b.Advance(1)
+		}
+		c.Insert("llm", tokensN(0, 4), b)
+	})
+	// Adoption into a non-empty arena.
+	h := c.Lookup("llm", toks, len(toks))
+	expectPanic("adopt into non-empty arena", func() { a.AdoptPrefix(h) })
+	// Adoption of a released handle.
+	h.Release()
+	expectPanic("adopt released handle", func() { New(cfg).AdoptPrefix(h) })
+}

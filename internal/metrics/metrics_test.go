@@ -151,3 +151,77 @@ func TestWindowRejectsBadCapacity(t *testing.T) {
 	}()
 	NewWindow(0)
 }
+
+// TestWindowEdgeCases pins the ring-buffer boundaries table-driven:
+// capacity one (every Add evicts), the exact-wrap instant (the first
+// overwrite, where full flips and next wraps to 0), and the sample
+// immediately after a wrap — the off-by-one hotspots of a ring.
+func TestWindowEdgeCases(t *testing.T) {
+	cases := []struct {
+		name     string
+		capacity int
+		adds     []float64
+		want     []float64 // expected Values(), oldest first
+	}{
+		{"capacity-1 empty", 1, nil, nil},
+		{"capacity-1 single", 1, []float64{7}, []float64{7}},
+		{"capacity-1 keeps only newest", 1, []float64{7, 8, 9}, []float64{9}},
+		{"exactly full, no overwrite yet", 3, []float64{1, 2, 3}, []float64{1, 2, 3}},
+		{"first overwrite", 3, []float64{1, 2, 3, 4}, []float64{2, 3, 4}},
+		{"second overwrite", 3, []float64{1, 2, 3, 4, 5}, []float64{3, 4, 5}},
+		{"exact wrap boundary", 3, []float64{1, 2, 3, 4, 5, 6}, []float64{4, 5, 6}},
+		{"one past a full wrap", 3, []float64{1, 2, 3, 4, 5, 6, 7}, []float64{5, 6, 7}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := NewWindow(tc.capacity)
+			for _, x := range tc.adds {
+				w.Add(x)
+			}
+			got := w.Values()
+			if len(got) != len(tc.want) {
+				t.Fatalf("Values() = %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("Values() = %v, want %v", got, tc.want)
+				}
+			}
+			wantLen := len(tc.adds)
+			if wantLen > tc.capacity {
+				wantLen = tc.capacity
+			}
+			if w.Len() != wantLen {
+				t.Fatalf("Len() = %d, want %d", w.Len(), wantLen)
+			}
+			if w.Total() != len(tc.adds) {
+				t.Fatalf("Total() = %d, want %d", w.Total(), len(tc.adds))
+			}
+		})
+	}
+}
+
+// TestWindowValuesOrderAfterFirstOverwrite: at the first overwrite the
+// implementation switches from the append path to the ring path; the
+// returned ordering must stay oldest-first through that transition, and
+// Values must return a COPY (later Adds must not reach into a snapshot).
+func TestWindowValuesOrderAfterFirstOverwrite(t *testing.T) {
+	w := NewWindow(4)
+	for i := 1; i <= 4; i++ {
+		w.Add(float64(i))
+	}
+	w.Add(5) // first overwrite: ring is [5 2 3 4], next=1
+	snap := w.Values()
+	want := []float64{2, 3, 4, 5}
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Fatalf("Values() after first overwrite = %v, want %v", snap, want)
+		}
+	}
+	w.Add(6)
+	for i := range want {
+		if snap[i] != want[i] {
+			t.Fatalf("snapshot mutated by later Add: %v", snap)
+		}
+	}
+}

@@ -348,23 +348,48 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // metriczResponse is the GET /metricz body.
 type metriczResponse struct {
-	Serving         bool            `json:"serving"`
-	Draining        bool            `json:"draining"`
-	QueueDepth      int             `json:"queue_depth"`
-	QueueCap        int             `json:"queue_cap"`
-	ActiveRequests  int             `json:"active_requests"`
-	MaxBatch        int             `json:"max_batch"`
-	Submitted       uint64          `json:"submitted"`
-	Completed       uint64          `json:"completed"`
-	Canceled        uint64          `json:"canceled"`
-	Rejected        uint64          `json:"rejected"`
-	Iterations      uint64          `json:"iterations"`
-	TokensCommitted uint64          `json:"tokens_committed"`
-	TokensPerSec    float64         `json:"tokens_per_sec"`
-	UptimeSeconds   float64         `json:"uptime_seconds"`
-	KVBytesActive   int64           `json:"kv_bytes_active"`
-	LatencyMs       latencyQuantile `json:"latency_ms"`
-	QueueDelayMs    latencyQuantile `json:"queue_delay_ms"`
+	Serving         bool    `json:"serving"`
+	Draining        bool    `json:"draining"`
+	QueueDepth      int     `json:"queue_depth"`
+	QueueCap        int     `json:"queue_cap"`
+	ActiveRequests  int     `json:"active_requests"`
+	MaxBatch        int     `json:"max_batch"`
+	Submitted       uint64  `json:"submitted"`
+	Completed       uint64  `json:"completed"`
+	Canceled        uint64  `json:"canceled"`
+	Rejected        uint64  `json:"rejected"`
+	Iterations      uint64  `json:"iterations"`
+	TokensCommitted uint64  `json:"tokens_committed"`
+	TokensPerSec    float64 `json:"tokens_per_sec"`
+	// TokensPerSecRecent is the sliding-window throughput over the last
+	// iteration boundaries (RecentWindowSeconds wide): the "current"
+	// rate, where tokens_per_sec is the lifetime average that goes
+	// stale across idle periods.
+	TokensPerSecRecent  float64         `json:"tokens_per_sec_recent"`
+	RecentWindowSeconds float64         `json:"recent_window_seconds"`
+	UptimeSeconds       float64         `json:"uptime_seconds"`
+	KVBytesActive       int64           `json:"kv_bytes_active"`
+	LatencyMs           latencyQuantile `json:"latency_ms"`
+	QueueDelayMs        latencyQuantile `json:"queue_delay_ms"`
+	// PrefixCache is present when the engine's cross-request prefix KV
+	// cache is enabled (core.Config.PrefixCacheBytes).
+	PrefixCache *prefixCacheMetrics `json:"prefix_cache,omitempty"`
+}
+
+// prefixCacheMetrics is the /metricz view of kvcache.PrefixStats.
+type prefixCacheMetrics struct {
+	Hits         uint64  `json:"hits"`
+	Misses       uint64  `json:"misses"`
+	HitRate      float64 `json:"hit_rate"`
+	Inserts      uint64  `json:"inserts"`
+	Evictions    uint64  `json:"evictions"`
+	TokensShared uint64  `json:"tokens_shared"`
+	BytesShared  uint64  `json:"bytes_shared"`
+	Bytes        int64   `json:"bytes"`
+	MaxBytes     int64   `json:"max_bytes"`
+	Nodes        int     `json:"nodes"`
+	Tails        int     `json:"tails"`
+	Pinned       int     `json:"pinned"`
 }
 
 type latencyQuantile struct {
@@ -386,25 +411,38 @@ func quantilesMs(s metrics.Summary) latencyQuantile {
 
 func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.ServeStats()
-	writeJSON(w, http.StatusOK, metriczResponse{
-		Serving:         st.Serving,
-		Draining:        st.Draining || s.draining.Load(),
-		QueueDepth:      st.QueueDepth,
-		QueueCap:        st.QueueCap,
-		ActiveRequests:  st.ActiveRequests,
-		MaxBatch:        st.MaxBatch,
-		Submitted:       st.Submitted,
-		Completed:       st.Completed,
-		Canceled:        st.Canceled,
-		Rejected:        st.Rejected,
-		Iterations:      st.Iterations,
-		TokensCommitted: st.TokensCommitted,
-		TokensPerSec:    st.TokensPerSec,
-		UptimeSeconds:   st.UptimeSeconds,
-		KVBytesActive:   st.KVBytesActive,
-		LatencyMs:       quantilesMs(st.Latency),
-		QueueDelayMs:    quantilesMs(st.QueueDelay),
-	})
+	resp := metriczResponse{
+		Serving:             st.Serving,
+		Draining:            st.Draining || s.draining.Load(),
+		QueueDepth:          st.QueueDepth,
+		QueueCap:            st.QueueCap,
+		ActiveRequests:      st.ActiveRequests,
+		MaxBatch:            st.MaxBatch,
+		Submitted:           st.Submitted,
+		Completed:           st.Completed,
+		Canceled:            st.Canceled,
+		Rejected:            st.Rejected,
+		Iterations:          st.Iterations,
+		TokensCommitted:     st.TokensCommitted,
+		TokensPerSec:        st.TokensPerSec,
+		TokensPerSecRecent:  st.RecentTokensPerSec,
+		RecentWindowSeconds: st.RecentWindowSeconds,
+		UptimeSeconds:       st.UptimeSeconds,
+		KVBytesActive:       st.KVBytesActive,
+		LatencyMs:           quantilesMs(st.Latency),
+		QueueDelayMs:        quantilesMs(st.QueueDelay),
+	}
+	if st.PrefixCacheEnabled {
+		p := st.PrefixCache
+		resp.PrefixCache = &prefixCacheMetrics{
+			Hits: p.Hits, Misses: p.Misses, HitRate: p.HitRate(),
+			Inserts: p.Inserts, Evictions: p.Evictions,
+			TokensShared: p.TokensShared, BytesShared: p.BytesShared,
+			Bytes: p.Bytes, MaxBytes: p.MaxBytes,
+			Nodes: p.Nodes, Tails: p.Tails, Pinned: p.Pinned,
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

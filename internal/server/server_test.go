@@ -548,3 +548,59 @@ func TestTokenizerText(t *testing.T) {
 		t.Fatalf("text %q, want %q", out.Text, "t2 t3")
 	}
 }
+
+// TestMetriczRecentThroughputAndPrefixCache covers the two PR-5 metricz
+// additions: the sliding-window throughput fields are always present
+// (and populated once traffic flowed), while the prefix_cache block
+// appears only when core.Config.PrefixCacheBytes enables the cache.
+func TestMetriczRecentThroughputAndPrefixCache(t *testing.T) {
+	getMetricz := func(t *testing.T, url string) metriczResponse {
+		t.Helper()
+		resp, err := http.Get(url + "/metricz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			if err := resp.Body.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}()
+		var m metriczResponse
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	t.Run("cache disabled", func(t *testing.T) {
+		env := newTestEnv(t, 0, nil)
+		if _, out := postGenerate(t, env.http.URL, `{"prompt":[2],"max_new_tokens":6}`); out.Error != "" {
+			t.Fatalf("generate failed: %q", out.Error)
+		}
+		m := getMetricz(t, env.http.URL)
+		if m.PrefixCache != nil {
+			t.Fatalf("prefix_cache reported with the cache disabled: %+v", m.PrefixCache)
+		}
+		// 6 committed tokens over >=2 iterations: the recent window has
+		// samples and a positive span, so the recent rate is live.
+		if m.TokensPerSecRecent <= 0 || m.RecentWindowSeconds <= 0 {
+			t.Fatalf("recent throughput not populated: recent=%v window=%vs", m.TokensPerSecRecent, m.RecentWindowSeconds)
+		}
+	})
+
+	t.Run("cache enabled", func(t *testing.T) {
+		env := newTestEnv(t, 0, func(cfg *core.Config) { cfg.PrefixCacheBytes = 1 << 20 })
+		m := getMetricz(t, env.http.URL)
+		if m.PrefixCache == nil {
+			t.Fatal("prefix_cache missing with the cache enabled")
+		}
+		if m.PrefixCache.MaxBytes != 1<<20 {
+			t.Fatalf("prefix_cache max_bytes = %d, want %d", m.PrefixCache.MaxBytes, 1<<20)
+		}
+		// The stub model shares no pages; the block must still be present
+		// and internally consistent (all-zero counters, zero hit rate).
+		if m.PrefixCache.Hits != 0 || m.PrefixCache.HitRate != 0 || m.PrefixCache.Bytes != 0 {
+			t.Fatalf("stub-model prefix cache reports activity: %+v", m.PrefixCache)
+		}
+	})
+}

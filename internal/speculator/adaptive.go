@@ -142,9 +142,18 @@ func (a *AdaptiveSpeculator) Speculate(rootTok model.Token) *tree.Tree {
 	return tr
 }
 
+// proposalDist derives the proposal distribution recorded on admitted
+// nodes from a raw DecodeTree output. The raw slice may be RETAINED
+// scratch of the SSM session (model.Session allows implementations to
+// alias returned distributions until the next commit), and Speculate
+// runs several DecodeTree waves before any commit while the admitted
+// nodes' dists outlive Speculate entirely (MSS verification reads them
+// after the LLM pass). A later wave — or any session that recycles its
+// buffers — would corrupt the stored copies, so the greedy path clones;
+// the stochastic path's Transform already allocates a fresh slice.
 func (a *AdaptiveSpeculator) proposalDist(raw []float32) []float32 {
 	if a.sample.Mode == sampling.Greedy {
-		return raw
+		return append([]float32(nil), raw...)
 	}
 	return a.sample.Transform(raw)
 }

@@ -274,6 +274,58 @@ func (s *Session) Prefill(prompt []model.Token) []float32 {
 	return cloneVec(s.lastDist)
 }
 
+// Arena exposes the session's paged KV arena for cross-request prefix
+// sharing (nil for reference and slice-cache sessions, which keep the
+// pre-paging layout and cannot alias pages).
+func (s *Session) Arena() *kvcache.Arena {
+	if s.ref {
+		return nil
+	}
+	return s.cache
+}
+
+// PrefillShared is Prefill with the leading h.Len() prompt tokens served
+// from a cached prefix instead of recomputed: the shared pages are
+// adopted into the session's arena (read-only aliasing; the partial
+// boundary page is copied — see kvcache.Arena.AdoptPrefix) and only the
+// suffix runs through the forward pass, at its true absolute positions
+// against the adopted cache.
+//
+// The result is bit-identical to a cold Prefill of the full prompt: the
+// adopted K/V rows are float-for-float the rows a cold prefill would
+// have committed (they were committed by one), and the suffix pass reads
+// them through the same contiguous-page kernels a cold prefill's
+// in-pass attention is already proven bit-equal to (the PR 2/3 golden
+// three-way tests). The prefix must be a strict prefix — at least one
+// suffix token must remain to produce the last-token distribution.
+//
+// The handle stays pinned and must be released when the session closes.
+func (s *Session) PrefillShared(h *kvcache.PinnedPrefix, prompt []model.Token) []float32 {
+	if s.n != 0 {
+		panic("transformer: PrefillShared on non-empty session")
+	}
+	if s.ref || s.cache == nil {
+		panic("transformer: PrefillShared requires the paged arena")
+	}
+	p := h.Len()
+	if p <= 0 || p >= len(prompt) {
+		panic(fmt.Sprintf("transformer: shared prefix %d must be a strict prefix of prompt %d", p, len(prompt)))
+	}
+	s.cache.AdoptPrefix(h)
+	s.n = p
+	suffix := prompt[p:]
+	positions := make([]int, len(suffix))
+	for i := range positions {
+		positions[i] = p + i
+	}
+	dists, k, v := s.forward(suffix, positions, nil, true)
+	s.commitRows(k, v)
+	s.n = len(prompt)
+	s.invalidateTree()
+	s.lastDist = dists[len(dists)-1]
+	return cloneVec(s.lastDist)
+}
+
 // Decode implements model.Session.
 func (s *Session) Decode(tok model.Token) []float32 {
 	if s.n == 0 {

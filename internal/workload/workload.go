@@ -260,3 +260,35 @@ func (m *Markov) Trace(rng *tensor.RNG, n, promptLen, maxNew int) []Request {
 	}
 	return reqs
 }
+
+// SharedPrefixTrace builds a trace of n requests whose prompts all open
+// with the SAME prefixLen-token prefix and diverge into per-request
+// suffixLen-token continuations — the system-prompt / few-shot-template
+// traffic shape that motivates cross-request prefix KV caching. The
+// suffixes continue the Markov process from the prefix's final context
+// (each from an independent sampling path), so the prompts remain
+// in-distribution for models trained on the process.
+func (m *Markov) SharedPrefixTrace(rng *tensor.RNG, n, prefixLen, suffixLen, maxNew int) []Request {
+	if prefixLen < 1 || suffixLen < 1 {
+		panic("workload: SharedPrefixTrace needs positive prefix and suffix lengths")
+	}
+	prefix := m.Generate(rng, prefixLen)
+	a, b := 0, prefix[prefixLen-1]
+	if prefixLen >= 2 {
+		a = prefix[prefixLen-2]
+	}
+	reqs := make([]Request, n)
+	for i := range reqs {
+		prompt := make([]int, prefixLen, prefixLen+suffixLen)
+		copy(prompt, prefix)
+		ca, cb := a, b
+		for len(prompt) < prefixLen+suffixLen {
+			s := m.successors(ca, cb)
+			t := s.toks[rng.SampleCategorical(s.weights)]
+			prompt = append(prompt, t)
+			ca, cb = cb, t
+		}
+		reqs[i] = Request{ID: i, Prompt: prompt, MaxNewTok: maxNew}
+	}
+	return reqs
+}

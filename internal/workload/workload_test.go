@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -160,4 +161,57 @@ func TestEntropyOrdering(t *testing.T) {
 	if cip >= webqa {
 		t.Fatalf("entropy(CIP)=%v must be < entropy(WebQA)=%v", cip, webqa)
 	}
+}
+
+func TestSharedPrefixTrace(t *testing.T) {
+	mk := NewMarkov(DatasetByName("Alpaca"))
+	reqs := mk.SharedPrefixTrace(tensor.NewRNG(31), 8, 40, 12, 16)
+	if len(reqs) != 8 {
+		t.Fatalf("trace has %d requests, want 8", len(reqs))
+	}
+	prefix := reqs[0].Prompt[:40]
+	distinct := make(map[string]bool)
+	for i, r := range reqs {
+		if r.ID != i || len(r.Prompt) != 52 || r.MaxNewTok != 16 {
+			t.Fatalf("request %d malformed: %+v", i, r)
+		}
+		for j, tok := range r.Prompt[:40] {
+			if tok != prefix[j] {
+				t.Fatalf("request %d diverges from the shared prefix at %d", i, j)
+			}
+			if tok < 0 || tok >= mk.Dataset().Vocab {
+				t.Fatalf("request %d token %d out of vocab", i, j)
+			}
+		}
+		key := fmt.Sprint(r.Prompt[40:])
+		distinct[key] = true
+		// Each suffix must continue the Markov process from the prefix's
+		// final context: its first token must have positive ground-truth
+		// probability there.
+		if d := mk.Dist(r.Prompt[:40]); d[r.Prompt[40]] <= 0 {
+			t.Fatalf("request %d suffix starts with an impossible token %d", i, r.Prompt[40])
+		}
+	}
+	// 8 independently sampled 12-token suffixes collapsing to one would
+	// mean the suffixes are not actually diverging.
+	if len(distinct) < 2 {
+		t.Fatalf("all %d suffixes identical", len(reqs))
+	}
+
+	// Deterministic per seed.
+	again := mk.SharedPrefixTrace(tensor.NewRNG(31), 8, 40, 12, 16)
+	for i := range reqs {
+		for j := range reqs[i].Prompt {
+			if reqs[i].Prompt[j] != again[i].Prompt[j] {
+				t.Fatalf("trace not deterministic at request %d token %d", i, j)
+			}
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive prefix length did not panic")
+		}
+	}()
+	mk.SharedPrefixTrace(tensor.NewRNG(1), 1, 0, 4, 4)
 }
