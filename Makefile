@@ -23,8 +23,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Extra flags reach the linter via LINT_FLAGS, e.g.
+#   make lint LINT_FLAGS='-json'
+#   make lint LINT_FLAGS='-only mutexguard,lockbalance'
+LINT_FLAGS ?=
+
 lint:
-	$(GO) run ./cmd/specinferlint ./...
+	$(GO) run ./cmd/specinferlint $(LINT_FLAGS) ./...
 
 # One-iteration pass over the perf microbenchmarks: catches bit-rot in the
 # benchmark drivers without paying for a full measurement run.

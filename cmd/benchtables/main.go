@@ -43,6 +43,7 @@ func main() {
 		defer func() { _ = f.Close() }()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			_ = f.Close() // os.Exit skips the deferred close
 			os.Exit(1)
 		}
 		defer pprof.StopCPUProfile()

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"testing"
 
@@ -51,6 +52,8 @@ type Report struct {
 func main() {
 	benchtime := flag.String("benchtime", "0.3s", "per-benchmark run time (test.benchtime syntax, e.g. 0.3s or 10x)")
 	out := flag.String("o", "", "output JSON path (required)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the suite run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	testing.Init()
 	flag.Parse()
 	if *out == "" {
@@ -60,6 +63,21 @@ func main() {
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
 		fmt.Fprintln(os.Stderr, "perfbench:", err)
 		os.Exit(1)
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+		defer func() { _ = f.Close() }()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			_ = f.Close() // os.Exit skips the deferred close
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	rep := Report{
@@ -128,6 +146,23 @@ func main() {
 			}
 			rep.Speedups[p.key] = sp
 			fmt.Printf("%-40s %.2fx time, %.2fx allocs vs %s\n", p.key, sp.TimeSpeedup, sp.AllocReduction, p.ref)
+		}
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			_ = f.Close() // os.Exit skips the deferred close
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
 		}
 	}
 

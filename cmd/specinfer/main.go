@@ -122,6 +122,7 @@ func main() {
 		defer func() { _ = f.Close() }()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			_ = f.Close() // os.Exit skips the deferred close
 			os.Exit(1)
 		}
 		defer pprof.StopCPUProfile()
@@ -140,6 +141,7 @@ func main() {
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			_ = f.Close()
 			os.Exit(1)
 		}
 		if err := f.Close(); err != nil {

@@ -4,29 +4,46 @@
 //
 // Usage:
 //
-//	specinferlint [-list] [-only analyzer,...] [packages]
+//	specinferlint [-list] [-json] [-only analyzer,...] [packages]
 //
 // Packages are directory patterns ("./...", "./internal/core", default
-// "./..."). Findings print as file:line:col: [analyzer] message. A
-// finding is suppressed by a
+// "./..."). Findings print as file:line:col: [analyzer] message, with
+// paths relative to the module root. With -json the findings are
+// emitted to stdout as a JSON array (for CI annotation tooling) and the
+// human-readable lines go to stderr. A finding is suppressed by a
 //
-//	//lint:ignore <analyzer> <reason>
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
 //
-// comment on the offending line or the line directly above it.
+// comment on the offending line or the line directly above it. A
+// directive that suppresses nothing is itself reported as a stale
+// suppression and fails the run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"specinfer/internal/lint"
 )
 
+// jsonFinding is the -json wire format for one diagnostic. Columns are
+// 1-based, paths are relative to the module root.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	asJSON := flag.Bool("json", false, "emit findings as JSON on stdout (human lines go to stderr)")
 	flag.Parse()
 
 	analyzers := lint.Analyzers()
@@ -63,8 +80,33 @@ func main() {
 		os.Exit(2)
 	}
 	diags := lint.Run(pkgs, analyzers)
+
+	human := os.Stdout
+	if *asJSON {
+		human = os.Stderr
+	}
+	findings := make([]jsonFinding, 0, len(diags))
 	for _, d := range diags {
-		fmt.Println(d)
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+		findings = append(findings, jsonFinding{
+			File:     file,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+		fmt.Fprintf(human, "%s:%d:%d: [%s] %s\n", file, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "specinferlint:", err)
+			os.Exit(2)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "specinferlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))

@@ -63,7 +63,7 @@ type Pair struct {
 
 var (
 	pairCacheMu sync.Mutex
-	pairCache   = map[string]Pair{}
+	pairCache   = map[string]Pair{} // guarded by pairCacheMu
 )
 
 // Models builds the calibrated LLM/SSM pair for a dataset. Deterministic —

@@ -290,7 +290,7 @@ type Engine struct {
 	// mu guards srv, the live-serving state installed by Serve. The
 	// offline paths never touch it.
 	mu  sync.Mutex
-	srv *serveState
+	srv *serveState // guarded by mu
 }
 
 // NewEngine validates the configuration and returns an engine.

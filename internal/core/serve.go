@@ -94,24 +94,24 @@ type serveState struct {
 	clock func() time.Time
 
 	mu         sync.Mutex
-	draining   bool
-	stopped    bool // scheduler exited; no further sends to admit
-	started    time.Time
-	submitted  uint64
-	completed  uint64
-	canceled   uint64 // retired with a context/drain error
-	rejected   uint64 // refused at Submit (queue full or draining)
-	iterations uint64
-	tokens     uint64
-	activeReqs int
-	kvBytes    int64
-	latency    *metrics.Window
-	queueDelay *metrics.Window
+	draining   bool            // guarded by mu
+	stopped    bool            // guarded by mu (scheduler exited; no further sends to admit)
+	started    time.Time       // guarded by mu
+	submitted  uint64          // guarded by mu
+	completed  uint64          // guarded by mu
+	canceled   uint64          // guarded by mu (retired with a context/drain error)
+	rejected   uint64          // guarded by mu (refused at Submit: queue full or draining)
+	iterations uint64          // guarded by mu
+	tokens     uint64          // guarded by mu
+	activeReqs int             // guarded by mu
+	kvBytes    int64           // guarded by mu
+	latency    *metrics.Window // guarded by mu
+	queueDelay *metrics.Window // guarded by mu
 	// recentT/recentC pair (uptime seconds, cumulative committed
 	// tokens) at the last recentThroughputSamples iteration boundaries,
 	// backing the sliding-window throughput figure.
-	recentT *metrics.Window
-	recentC *metrics.Window
+	recentT *metrics.Window // guarded by mu
+	recentC *metrics.Window // guarded by mu
 }
 
 // ServeStats is a point-in-time snapshot of the live serving loop, the
@@ -301,6 +301,7 @@ func (e *Engine) Submit(ctx context.Context, req workload.Request) (<-chan model
 		return nil, nil, fmt.Errorf("core: Submit requires positive MaxNewTok, got %d", req.MaxNewTok)
 	}
 	if ctx == nil {
+		//lint:ignore ctxflow nil-ctx callers opted out of cancellation; Background is the documented fallback, not a severed chain
 		ctx = context.Background()
 	}
 	e.mu.Lock()

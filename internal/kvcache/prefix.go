@@ -36,17 +36,17 @@ import (
 // except tail rows at insert).
 type PrefixCache struct {
 	mu       sync.Mutex
-	maxBytes int64
-	bytes    int64
-	clock    uint64 // logical LRU clock; ticks once per touched entry
+	maxBytes int64  // immutable after New
+	bytes    int64  // guarded by mu
+	clock    uint64 // guarded by mu (logical LRU clock; ticks once per touched entry)
 
 	// roots is one trie per namespace. Namespaces isolate models that
 	// share an engine (the LLM and each SSM cache prefixes of the same
 	// token stream but with different geometry and different values).
-	roots map[string]*prefixRoot
+	roots map[string]*prefixRoot // guarded by mu
 
-	hits, misses, inserts, evictions uint64
-	tokensShared, bytesShared        uint64
+	hits, misses, inserts, evictions uint64 // guarded by mu
+	tokensShared, bytesShared        uint64 // guarded by mu
 }
 
 // prefixRoot is one namespace's trie: its fixed arena geometry plus the
@@ -193,6 +193,9 @@ func chunkKey(tokens []int) string {
 	return string(b)
 }
 
+// tick advances the logical LRU clock.
+//
+//lint:holds c.mu
 func (c *PrefixCache) tick() uint64 {
 	c.clock++
 	return c.clock
@@ -357,6 +360,8 @@ func (c *PrefixCache) Insert(ns string, tokens []int, a *Arena) {
 // of a live path are never dropped. When everything over budget is
 // pinned, the cache transiently exceeds the budget rather than break a
 // live adoption.
+//
+//lint:holds c.mu
 func (c *PrefixCache) evict() {
 	for c.bytes > c.maxBytes {
 		nd, tl := c.oldestEvictable()
@@ -384,6 +389,8 @@ func (c *PrefixCache) evict() {
 // smallest lastUsed stamp. The stamps are unique (the clock ticks per
 // touched entry), so the choice — and therefore the whole eviction
 // order — is deterministic despite map iteration.
+//
+//lint:holds c.mu
 func (c *PrefixCache) oldestEvictable() (*prefixNode, *prefixTail) {
 	var bestN *prefixNode
 	var bestT *prefixTail

@@ -273,12 +273,13 @@ func TestIdiomaticCodePassesClean(t *testing.T) {
 }
 
 // violationsEverywhere seeds one violation per analyzer; the driver must
-// report all six (this is the fixture backing the acceptance criterion
-// that specinferlint exits non-zero on seeded violations).
+// report all eleven (this is the fixture backing the acceptance
+// criterion that specinferlint exits non-zero on seeded violations).
 const violationsEverywhere = `package fixture
 
 import (
 	"math/rand"
+	"sync"
 
 	_ "golang.org/x/exp/constraints"
 )
@@ -302,6 +303,39 @@ func Broken(a, b float64, arch Arch) int {
 }
 
 func Normalize() error { return nil }
+
+type shared struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (s *shared) Bump() {
+	s.n++       // mutexguard: no lock held
+	s.mu.Lock() // lockbalance: never released
+}
+
+type res struct{}
+
+func (r *res) Close() {}
+
+func newRes() *res { return &res{} }
+
+func LeakRes() {
+	r := newRes() // resourceclose: never closed or transferred
+	sinkRes(r)
+}
+
+func sinkRes(*res) {}
+
+func Orphan() {
+	go Normalize() // ctxflow: no shutdown path
+}
+
+type pool struct{ scratch []int }
+
+func (p *pool) Window() []int {
+	return p.scratch[:0] // aliasret: window into retained storage
+}
 `
 
 func TestSeededViolationsAllFire(t *testing.T) {

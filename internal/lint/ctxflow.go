@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlowAnalyzer enforces the runtime's cancellation contract in
+// library (non-main, non-test) code: no minting of fresh root contexts —
+// context.Background()/TODO() sever the caller's cancellation chain, so
+// a dead client can no longer cancel the work done on its behalf — and
+// no goroutine launched without a shutdown path. A goroutine has a
+// shutdown path when it references a context, a channel (done, queue,
+// ticker), or a WaitGroup; one that references none of these can neither
+// be stopped nor awaited, which is how daemons leak workers across
+// drain. Package main may build root contexts (that is where they
+// belong) and is exempt.
+var CtxFlowAnalyzer = &Analyzer{
+	Name: "ctxflow",
+	Doc: "no context.Background()/TODO() outside package main; every goroutine in " +
+		"library code must reference a ctx, done channel, or WaitGroup so it can be " +
+		"shut down",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	if p.Pkg.Name() == "main" {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				switch name := calleeName(p, n); name {
+				case "context.Background", "context.TODO":
+					p.Reportf(n.Pos(), "%s in library code severs the caller's cancellation "+
+						"chain; thread the caller's ctx instead", name)
+				}
+			case *ast.GoStmt:
+				if !goHasShutdownPath(p, n) {
+					p.Reportf(n.Pos(), "goroutine has no shutdown path: reference a context, "+
+						"done channel, or WaitGroup so it can be stopped or awaited")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// goHasShutdownPath reports whether the launched goroutine references a
+// context, channel, or WaitGroup — in its body for function literals, or
+// among its arguments and callee expression otherwise.
+func goHasShutdownPath(p *Pass, g *ast.GoStmt) bool {
+	var scope []ast.Node
+	if fl, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		scope = append(scope, fl.Body)
+	} else {
+		scope = append(scope, g.Call.Fun)
+	}
+	for _, a := range g.Call.Args {
+		scope = append(scope, a)
+	}
+	for _, n := range scope {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if found {
+				return false
+			}
+			e, ok := m.(ast.Expr)
+			if !ok {
+				return true
+			}
+			if isShutdownType(p.Info.TypeOf(e)) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isShutdownType reports whether t is a channel, context.Context, or
+// sync.WaitGroup (possibly behind pointers).
+func isShutdownType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	for {
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "context.Context", "sync.WaitGroup":
+		return true
+	}
+	return false
+}

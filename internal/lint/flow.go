@@ -1,0 +1,511 @@
+package lint
+
+// flow.go holds the shared intraprocedural machinery behind the
+// concurrency analyzers (mutexguard, lockbalance): an abstract
+// interpretation of one function body that tracks which mutexes are held
+// along each control-flow path. Branches are explored with cloned states;
+// a branch that does not terminate (return/panic/os.Exit) must leave the
+// lock state as it found it, which is exactly the property lockbalance
+// enforces and mutexguard consumes.
+//
+// The walk is deliberately approximate where soundness would cost
+// precision: `break`/`continue`/`goto` end their path without an exit
+// check, and deferred closures run with an empty lock state. Both choices
+// favor false negatives over false positives — the analyzers gate CI, so
+// a finding must be worth reading.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// exprString renders an identifier/selector chain ("mu", "s.mu",
+// "e.prefix.mu") or "" when the expression is anything richer. Lock
+// identity is tracked by this printable name, which makes the analysis
+// syntactic: two aliases of one mutex are two locks to us, and a mutex
+// reached through an index expression is invisible. The runtime's locks
+// are all plain fields, so the trade is fine.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.SelectorExpr:
+		base := exprString(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+// isMutexType reports whether t (possibly behind pointers) is sync.Mutex
+// or sync.RWMutex.
+func isMutexType(t types.Type) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// lockOpOf classifies call as a lock or unlock of a named mutex. RLock
+// and RUnlock count as Lock/Unlock: for guarding purposes a read lock
+// held is a lock held.
+func lockOpOf(p *Pass, call *ast.CallExpr) (mu string, op string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = "lock"
+	case "Unlock", "RUnlock":
+		op = "unlock"
+	default:
+		return "", ""
+	}
+	tv, ok := p.Info.Types[sel.X]
+	if !ok || !isMutexType(tv.Type) {
+		return "", ""
+	}
+	if mu = exprString(sel.X); mu == "" {
+		return "", ""
+	}
+	return mu, op
+}
+
+// termKind classifies calls that end the surrounding path.
+type termKind int
+
+const (
+	termNone  termKind = iota
+	termPanic          // panic, runtime.Goexit: deferred calls still run
+	termExit           // os.Exit, log.Fatal*: deferred calls do NOT run
+)
+
+// terminates reports whether call unconditionally leaves the function.
+func terminates(p *Pass, call *ast.CallExpr) termKind {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, ok := p.Info.Uses[id].(*types.Builtin); ok && id.Name == "panic" {
+			return termPanic
+		}
+	}
+	switch calleeName(p, call) {
+	case "os.Exit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+		return termExit
+	case "runtime.Goexit":
+		return termPanic
+	}
+	return termNone
+}
+
+// holdsPrefix marks a function as requiring the named mutexes held on
+// entry:
+//
+//	//lint:holds c.mu
+//
+// in the doc comment. mutexguard treats the mutexes as held throughout
+// the body, and lockbalance does not require the function to release
+// them — they belong to the caller. The expressions are spelled from the
+// function's own point of view (its receiver name).
+const holdsPrefix = "//lint:holds"
+
+// holdsOf returns the mutex expressions fn's //lint:holds directives
+// declare held on entry.
+func holdsOf(fn *ast.FuncDecl) []string {
+	if fn.Doc == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range fn.Doc.List {
+		if rest, ok := strings.CutPrefix(c.Text, holdsPrefix); ok {
+			out = append(out, strings.Fields(rest)...)
+		}
+	}
+	return out
+}
+
+// lockState is the abstract state of one control-flow path: which
+// mutexes are held (keyed by exprString, valued by the acquisition
+// site) and which of them have a deferred unlock pending.
+type lockState struct {
+	held     map[string]token.Pos
+	deferred map[string]bool
+}
+
+func newLockState(entry []string) *lockState {
+	s := &lockState{held: map[string]token.Pos{}, deferred: map[string]bool{}}
+	for _, mu := range entry {
+		s.held[mu] = token.NoPos
+	}
+	return s
+}
+
+func (s *lockState) clone() *lockState {
+	c := &lockState{
+		held:     make(map[string]token.Pos, len(s.held)),
+		deferred: make(map[string]bool, len(s.deferred)),
+	}
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k := range s.deferred {
+		c.deferred[k] = true
+	}
+	return c
+}
+
+// lockHooks are the analyzer-specific callbacks of the lock walker.
+// Any hook may be nil.
+type lockHooks struct {
+	// onDoubleLock fires at a Lock() of a mutex already held.
+	onDoubleLock func(pos token.Pos, mu string)
+	// onBareUnlock fires at an Unlock() of a mutex not held.
+	onBareUnlock func(pos token.Pos, mu string)
+	// onExit fires where a path leaves the function (return, fallthrough
+	// off the end) with the state at that point; entry names the mutexes
+	// held on entry (//lint:holds), which the function need not release.
+	onExit func(pos token.Pos, st *lockState, entry map[string]bool)
+	// onDiverge fires at a statement after which mu is held on some
+	// paths but not others.
+	onDiverge func(pos token.Pos, mu string)
+	// onNode fires for every expression node visited, with the lock
+	// state in force at that point.
+	onNode func(n ast.Node, st *lockState)
+	// inlineFuncLitInherits makes function literals in plain expression
+	// position (assigned to a variable, passed to a call) start with the
+	// current held set instead of an empty one; go/defer literals always
+	// start empty.
+	inlineFuncLitInherits bool
+}
+
+type lockWalker struct {
+	p     *Pass
+	hooks lockHooks
+	entry map[string]bool
+}
+
+// walkLockFunc interprets body with the given entry-held mutexes.
+func walkLockFunc(p *Pass, body *ast.BlockStmt, entryHeld []string, hooks lockHooks) {
+	w := &lockWalker{p: p, hooks: hooks, entry: map[string]bool{}}
+	for _, mu := range entryHeld {
+		w.entry[mu] = true
+	}
+	st := newLockState(entryHeld)
+	if !w.stmts(body.List, st) {
+		w.exit(body.Rbrace, st)
+	}
+}
+
+func (w *lockWalker) exit(pos token.Pos, st *lockState) {
+	if w.hooks.onExit != nil {
+		w.hooks.onExit(pos, st, w.entry)
+	}
+}
+
+// converge checks that a non-terminated branch left the lock state as it
+// found it, reporting each mutex whose held status diverged.
+func (w *lockWalker) converge(pos token.Pos, entry, end *lockState) {
+	if w.hooks.onDiverge == nil {
+		return
+	}
+	for mu := range end.held {
+		if _, ok := entry.held[mu]; !ok {
+			w.hooks.onDiverge(pos, mu)
+		}
+	}
+	for mu := range entry.held {
+		if _, ok := end.held[mu]; !ok {
+			w.hooks.onDiverge(pos, mu)
+		}
+	}
+}
+
+// stmts walks a statement list, returning true when the path terminates
+// before the end of the list.
+func (w *lockWalker) stmts(list []ast.Stmt, st *lockState) bool {
+	for _, s := range list {
+		if w.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt interprets one statement, returning true when it unconditionally
+// leaves the enclosing function (or linear path).
+func (w *lockWalker) stmt(s ast.Stmt, st *lockState) bool {
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt:
+		return false
+
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if mu, op := lockOpOf(w.p, call); mu != "" {
+				switch op {
+				case "lock":
+					if _, held := st.held[mu]; held {
+						if w.hooks.onDoubleLock != nil {
+							w.hooks.onDoubleLock(call.Pos(), mu)
+						}
+					}
+					st.held[mu] = call.Pos()
+				case "unlock":
+					if _, held := st.held[mu]; !held {
+						if w.hooks.onBareUnlock != nil {
+							w.hooks.onBareUnlock(call.Pos(), mu)
+						}
+					}
+					delete(st.held, mu)
+					delete(st.deferred, mu)
+				}
+				return false
+			}
+			if terminates(w.p, call) != termNone {
+				w.exprs(s.X, st, true)
+				return true
+			}
+		}
+		w.exprs(s.X, st, true)
+		return false
+
+	case *ast.DeferStmt:
+		if mu, op := lockOpOf(w.p, s.Call); mu != "" && op == "unlock" {
+			st.deferred[mu] = true
+			return false
+		}
+		// A deferred closure runs at function exit with an unknowable
+		// lock state; scan it only for the unlocks it performs.
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			for _, mu := range unlocksIn(w.p, fl.Body) {
+				st.deferred[mu] = true
+			}
+			w.walkFuncLit(fl, nil)
+		} else {
+			w.exprs(s.Call.Fun, st, false)
+		}
+		for _, a := range s.Call.Args {
+			w.exprs(a, st, false)
+		}
+		return false
+
+	case *ast.GoStmt:
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.walkFuncLit(fl, nil)
+		} else {
+			w.exprs(s.Call.Fun, st, false)
+		}
+		for _, a := range s.Call.Args {
+			w.exprs(a, st, false)
+		}
+		return false
+
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.exprs(r, st, true)
+		}
+		w.exit(s.Pos(), st)
+		return true
+
+	case *ast.BranchStmt:
+		// break/continue/goto leave the linear path; approximate by
+		// ending it without an exit check.
+		return true
+
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			w.exprs(r, st, true)
+		}
+		for _, l := range s.Lhs {
+			w.exprs(l, st, true)
+		}
+		return false
+
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return false
+		}
+		for _, spec := range gd.Specs {
+			if vs, ok := spec.(*ast.ValueSpec); ok {
+				for _, v := range vs.Values {
+					w.exprs(v, st, true)
+				}
+			}
+		}
+		return false
+
+	case *ast.IncDecStmt:
+		w.exprs(s.X, st, true)
+		return false
+
+	case *ast.SendStmt:
+		w.exprs(s.Chan, st, true)
+		w.exprs(s.Value, st, true)
+		return false
+
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.exprs(s.Cond, st, true)
+		bodySt := st.clone()
+		bodyTerm := w.stmts(s.Body.List, bodySt)
+		if !bodyTerm {
+			w.converge(s.Pos(), st, bodySt)
+		}
+		if s.Else == nil {
+			return false
+		}
+		elseSt := st.clone()
+		elseTerm := w.stmt(s.Else, elseSt)
+		if !elseTerm {
+			w.converge(s.Pos(), st, elseSt)
+		}
+		return bodyTerm && elseTerm
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.exprs(s.Cond, st, true)
+		bodySt := st.clone()
+		if !w.stmts(s.Body.List, bodySt) {
+			if s.Post != nil {
+				w.stmt(s.Post, bodySt)
+			}
+			w.converge(s.Pos(), st, bodySt)
+		}
+		return false
+
+	case *ast.RangeStmt:
+		w.exprs(s.X, st, true)
+		w.exprs(s.Key, st, true)
+		w.exprs(s.Value, st, true)
+		bodySt := st.clone()
+		if !w.stmts(s.Body.List, bodySt) {
+			w.converge(s.Pos(), st, bodySt)
+		}
+		return false
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.exprs(s.Tag, st, true)
+		w.clauses(s.Body, st)
+		return false
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.stmt(s.Assign, st)
+		w.clauses(s.Body, st)
+		return false
+
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			caseSt := st.clone()
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, caseSt)
+			}
+			if !w.stmts(cc.Body, caseSt) {
+				w.converge(cc.Pos(), st, caseSt)
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// clauses walks switch/type-switch case bodies with cloned states.
+func (w *lockWalker) clauses(body *ast.BlockStmt, st *lockState) {
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			w.exprs(e, st, true)
+		}
+		caseSt := st.clone()
+		if !w.stmts(cc.Body, caseSt) {
+			w.converge(cc.Pos(), st, caseSt)
+		}
+	}
+}
+
+// exprs visits an expression tree, feeding nodes to the onNode hook and
+// diverting function literals to their own walks. inline marks literals
+// that execute (if at all) synchronously at this point, as opposed to
+// go/defer operands.
+func (w *lockWalker) exprs(e ast.Expr, st *lockState, inline bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			var entry []string
+			if inline && w.hooks.inlineFuncLitInherits {
+				for mu := range st.held {
+					entry = append(entry, mu)
+				}
+			}
+			w.walkFuncLit(fl, entry)
+			return false
+		}
+		if w.hooks.onNode != nil {
+			w.hooks.onNode(n, st)
+		}
+		return true
+	})
+}
+
+// walkFuncLit checks a function literal's body as its own function.
+func (w *lockWalker) walkFuncLit(fl *ast.FuncLit, entry []string) {
+	sub := &lockWalker{p: w.p, hooks: w.hooks, entry: map[string]bool{}}
+	for _, mu := range entry {
+		sub.entry[mu] = true
+	}
+	st := newLockState(entry)
+	if !sub.stmts(fl.Body.List, st) {
+		sub.exit(fl.Body.Rbrace, st)
+	}
+}
+
+// unlocksIn lists the mutexes body unlocks anywhere (used for deferred
+// closures of the `defer func() { ...; mu.Unlock() }()` shape).
+func unlocksIn(p *Pass, body *ast.BlockStmt) []string {
+	var out []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if mu, op := lockOpOf(p, call); op == "unlock" {
+				out = append(out, mu)
+			}
+		}
+		return true
+	})
+	return out
+}

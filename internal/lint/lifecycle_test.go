@@ -1,0 +1,357 @@
+package lint_test
+
+// Fixture tests for the concurrency & lifecycle analyzers (specinferlint
+// v2): mutexguard, lockbalance, resourceclose, ctxflow, aliasret. Each
+// fixture carries the three required shapes — positive findings (// want
+// markers), a suppressed finding (//lint:ignore with a reason), and
+// clean idiomatic code the analyzer must not flag.
+
+import (
+	"testing"
+
+	"specinfer/internal/lint"
+)
+
+const mutexguardSrc = `package fixture
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func (c *Counter) Racy() int {
+	return c.n // want mutexguard
+}
+
+// incLocked is called with the lock held; the directive stands in for
+// the caller's Lock.
+//
+//lint:holds c.mu
+func (c *Counter) incLocked() {
+	c.n++
+}
+
+func (c *Counter) Scoped() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	read := func() int { return c.n } // inline closures inherit the held set
+	return read()
+}
+
+func (c *Counter) Fire() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		c.n++ // want mutexguard
+	}()
+}
+
+func (c *Counter) Peek() int {
+	//lint:ignore mutexguard racy sampling is fine for this test fixture
+	return c.n
+}
+
+var tableMu sync.Mutex
+
+// guarded by tableMu
+var table = map[string]int{}
+
+func Lookup(k string) int {
+	tableMu.Lock()
+	defer tableMu.Unlock()
+	return table[k]
+}
+
+func RacyLookup(k string) int {
+	return table[k] // want mutexguard
+}
+`
+
+func TestMutexGuard(t *testing.T) {
+	checkFixture(t, "specinfer/internal/fixture", mutexguardSrc, lint.MutexGuardAnalyzer)
+}
+
+const lockbalanceSrc = `package fixture
+
+import "sync"
+
+type Box struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *Box) Get() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+func (b *Box) Put(n int) {
+	b.mu.Lock()
+	b.n = n
+	b.mu.Unlock()
+}
+
+func (b *Box) Leak() {
+	b.mu.Lock() // want lockbalance
+	b.n++
+}
+
+func (b *Box) EarlyReturn(n int) int {
+	b.mu.Lock() // want lockbalance
+	if n > 0 {
+		return n
+	}
+	b.mu.Unlock()
+	return b.n
+}
+
+func (b *Box) Double() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.mu.Lock() // want lockbalance
+}
+
+func (b *Box) Bare() {
+	b.mu.Unlock() // want lockbalance
+}
+
+func (b *Box) Uneven(ok bool) {
+	if ok { // want lockbalance
+		b.mu.Lock()
+	}
+}
+
+// bumpLocked's caller owns the lock; //lint:holds exempts it from the
+// balance check.
+//
+//lint:holds b.mu
+func (b *Box) bumpLocked() {
+	b.n++
+}
+
+func (b *Box) Handoff() {
+	//lint:ignore lockbalance released by the monitor goroutine in this fixture's story
+	b.mu.Lock()
+}
+`
+
+func TestLockBalance(t *testing.T) {
+	checkFixture(t, "specinfer/internal/fixture", lockbalanceSrc, lint.LockBalanceAnalyzer)
+}
+
+const resourcecloseSrc = `package fixture
+
+import "os"
+
+type handle struct{}
+
+func (h *handle) Release() {}
+
+func open() *handle { return &handle{} }
+
+func sink(h *handle) {}
+
+func sinkFile(f *os.File) {}
+
+var global *handle
+
+func Leak(path string) error {
+	f, err := os.Create(path) // want resourceclose
+	if err != nil {
+		return err
+	}
+	sinkFile(f) // a plain call argument does not transfer ownership
+	return nil
+}
+
+func ExitSkipsDefers(path string, bail bool) {
+	f, err := os.Create(path) // want resourceclose
+	if err != nil {
+		return
+	}
+	defer func() { _ = f.Close() }()
+	if bail {
+		os.Exit(1)
+	}
+}
+
+func LeakHandle() {
+	h := open() // want resourceclose
+	sink(h)
+}
+
+func Clobber() {
+	h := open() // want resourceclose
+	h = open()
+	h.Release()
+}
+
+func LoopLeak(paths []string) {
+	for _, p := range paths {
+		f, err := os.Open(p) // want resourceclose
+		if err != nil {
+			continue
+		}
+		sinkFile(f)
+	}
+}
+
+func Closed(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	return nil
+}
+
+func Give() *handle {
+	h := open()
+	return h // returning transfers ownership to the caller
+}
+
+func Keep() {
+	h := open()
+	global = h // storing outside the function transfers ownership
+}
+
+func Borrowed() {
+	//lint:ignore resourceclose process-lifetime handle by design in this fixture
+	h := open()
+	sink(h)
+}
+`
+
+func TestResourceClose(t *testing.T) {
+	checkFixture(t, "specinfer/internal/fixture", resourcecloseSrc, lint.ResourceCloseAnalyzer)
+}
+
+const ctxflowSrc = `package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func Root() context.Context {
+	return context.Background() // want ctxflow
+}
+
+func Todo() context.Context {
+	return context.TODO() // want ctxflow
+}
+
+func Orphan() {
+	go work() // want ctxflow
+}
+
+func OrphanLit() {
+	go func() { work() }() // want ctxflow
+}
+
+func Watched(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func Awaited(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+func Drained(ch chan int) {
+	go drain(ch)
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+func Pinned() {
+	//lint:ignore ctxflow pinned background worker; this fixture documents the exception
+	go work()
+}
+`
+
+func TestCtxFlow(t *testing.T) {
+	checkFixture(t, "specinfer/internal/fixture", ctxflowSrc, lint.CtxFlowAnalyzer)
+}
+
+func TestCtxFlowSkipsPackageMain(t *testing.T) {
+	src := `package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+	go func() {}()
+}
+`
+	if diags := runFixture(t, "specinfer/cmd/fixture", src, lint.CtxFlowAnalyzer); len(diags) != 0 {
+		t.Fatalf("package main may mint root contexts and run pinned goroutines, got %v", diags)
+	}
+}
+
+const aliasretSrc = `package fixture
+
+type Pool struct {
+	scratch []float64
+	items   []int
+}
+
+func (p *Pool) Window(n int) []float64 {
+	return p.scratch[:n] // want aliasret
+}
+
+func (p *Pool) Alias(n int) []float64 {
+	buf := p.scratch[:n]
+	return buf // want aliasret
+}
+
+func (p *Pool) Scratch() []float64 {
+	return p.scratch // want aliasret
+}
+
+func (p *Pool) Items() []int {
+	return p.items // a plain getter is an API choice, not a reuse hazard
+}
+
+func (p *Pool) Copy(n int) []float64 {
+	return append([]float64(nil), p.scratch[:n]...)
+}
+
+func (p *Pool) window(n int) []float64 {
+	return p.scratch[:n] // unexported helpers may hand out views
+}
+
+func (p *Pool) View(n int) []float64 {
+	//lint:ignore aliasret documented zero-copy view, valid until the next call
+	return p.scratch[:n]
+}
+`
+
+func TestAliasRet(t *testing.T) {
+	checkFixture(t, "specinfer/internal/fixture", aliasretSrc, lint.AliasRetAnalyzer)
+}

@@ -17,7 +17,10 @@
 //
 // on the offending line or on the line directly above it. The analyzer
 // field may name several analyzers separated by commas; the reason is
-// mandatory.
+// mandatory, and a directive that suppresses nothing is itself reported
+// as stale. A second directive, //lint:holds <mu> in a function's doc
+// comment, declares mutexes the caller holds on entry for the
+// concurrency analyzers (see flow.go).
 package lint
 
 import (
@@ -27,6 +30,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // A Diagnostic is one finding, anchored to a source position.
@@ -90,35 +94,41 @@ func Analyzers() []*Analyzer {
 		ErrCheckAnalyzer,
 		ExhaustEnumAnalyzer,
 		NoDepsAnalyzer,
+		MutexGuardAnalyzer,
+		LockBalanceAnalyzer,
+		ResourceCloseAnalyzer,
+		CtxFlowAnalyzer,
+		AliasRetAnalyzer,
 	}
 }
 
 // Run applies analyzers to every package and returns the findings that no
 // //lint:ignore directive suppresses, sorted by position. Malformed
-// directives are themselves reported under the name "lint".
+// directives are themselves reported under the name "lint", and so are
+// stale ones: a directive naming an analyzer in the run set that
+// suppresses nothing no longer documents a real exception, so it fails
+// the gate until it is deleted. Packages are analyzed in parallel —
+// type-checked packages are immutable, each package's findings land in
+// its own slot.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	runSet := map[string]bool{}
+	for _, a := range analyzers {
+		runSet[a.Name] = true
+	}
+	results := make([][]Diagnostic, len(pkgs))
+	var wg sync.WaitGroup
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			results[i] = runPackage(pkg, analyzers, runSet)
+		}(i, pkg)
+	}
+	wg.Wait()
+
 	var out []Diagnostic
-	for _, pkg := range pkgs {
-		ig, bad := ignoresOf(pkg)
-		out = append(out, bad...)
-		var diags []Diagnostic
-		for _, a := range analyzers {
-			a.Run(&Pass{
-				Analyzer:   a,
-				Fset:       pkg.Fset,
-				ModulePath: pkg.ModulePath,
-				Path:       pkg.Path,
-				Files:      pkg.Files,
-				Pkg:        pkg.Pkg,
-				Info:       pkg.Info,
-				diags:      &diags,
-			})
-		}
-		for _, d := range diags {
-			if !ig.suppresses(d) {
-				out = append(out, d)
-			}
-		}
+	for _, r := range results {
+		out = append(out, r...)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -136,16 +146,86 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return out
 }
 
+// runPackage applies the analyzers to one package, filters the findings
+// through the package's //lint:ignore directives, and appends malformed-
+// and stale-directive diagnostics.
+func runPackage(pkg *Package, analyzers []*Analyzer, runSet map[string]bool) []Diagnostic {
+	ig, out := ignoresOf(pkg)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		a.Run(&Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			ModulePath: pkg.ModulePath,
+			Path:       pkg.Path,
+			Files:      pkg.Files,
+			Pkg:        pkg.Pkg,
+			Info:       pkg.Info,
+			diags:      &diags,
+		})
+	}
+	for _, d := range diags {
+		if !ig.suppresses(d) {
+			out = append(out, d)
+		}
+	}
+	// Staleness is judged only against analyzers that actually ran, so a
+	// -only subset never condemns the other analyzers' directives.
+	for _, e := range ig.entries {
+		if e.used || !runSet[e.name] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      e.pos,
+			Analyzer: "lint",
+			Message: fmt.Sprintf("stale suppression: no %s finding on this or the next line; "+
+				"delete the directive", e.name),
+		})
+	}
+	return out
+}
+
 const ignorePrefix = "//lint:ignore"
 
-// ignoreSet records, per file and line, which analyzers are suppressed.
-type ignoreSet map[string]map[int]map[string]bool
+// ignoreEntry is one (directive, analyzer) pair; used flips when the
+// entry suppresses a finding, and entries that never flip are reported
+// as stale.
+type ignoreEntry struct {
+	pos  token.Position
+	name string
+	used bool
+}
+
+// ignoreSet indexes a package's //lint:ignore directives by the lines
+// they cover (the directive's own line and the one below it).
+type ignoreSet struct {
+	entries []*ignoreEntry
+	byLine  map[string]map[int]map[string][]*ignoreEntry // file → line → analyzer
+}
+
+func (ig *ignoreSet) add(pos token.Position, name string) {
+	e := &ignoreEntry{pos: pos, name: name}
+	ig.entries = append(ig.entries, e)
+	for _, line := range []int{pos.Line, pos.Line + 1} {
+		lines := ig.byLine[pos.Filename]
+		if lines == nil {
+			lines = map[int]map[string][]*ignoreEntry{}
+			ig.byLine[pos.Filename] = lines
+		}
+		names := lines[line]
+		if names == nil {
+			names = map[string][]*ignoreEntry{}
+			lines[line] = names
+		}
+		names[name] = append(names[name], e)
+	}
+}
 
 // ignoresOf scans a package's comments for //lint:ignore directives.
 // Malformed directives (missing analyzer or reason) are returned as
 // diagnostics so they fail the gate instead of silently not applying.
-func ignoresOf(pkg *Package) (ignoreSet, []Diagnostic) {
-	ig := ignoreSet{}
+func ignoresOf(pkg *Package) (*ignoreSet, []Diagnostic) {
+	ig := &ignoreSet{byLine: map[string]map[int]map[string][]*ignoreEntry{}}
 	var bad []Diagnostic
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -163,18 +243,8 @@ func ignoresOf(pkg *Package) (ignoreSet, []Diagnostic) {
 					})
 					continue
 				}
-				lines := ig[pos.Filename]
-				if lines == nil {
-					lines = map[int]map[string]bool{}
-					ig[pos.Filename] = lines
-				}
-				names := lines[pos.Line]
-				if names == nil {
-					names = map[string]bool{}
-					lines[pos.Line] = names
-				}
 				for _, name := range strings.Split(fields[0], ",") {
-					names[name] = true
+					ig.add(pos, name)
 				}
 			}
 		}
@@ -183,11 +253,14 @@ func ignoresOf(pkg *Package) (ignoreSet, []Diagnostic) {
 }
 
 // suppresses reports whether a directive on the diagnostic's line or the
-// line directly above covers it.
-func (ig ignoreSet) suppresses(d Diagnostic) bool {
-	lines := ig[d.Pos.Filename]
-	if lines == nil {
+// line directly above covers it, marking matching entries used.
+func (ig *ignoreSet) suppresses(d Diagnostic) bool {
+	es := ig.byLine[d.Pos.Filename][d.Pos.Line][d.Analyzer]
+	if len(es) == 0 {
 		return false
 	}
-	return lines[d.Pos.Line][d.Analyzer] || lines[d.Pos.Line-1][d.Analyzer]
+	for _, e := range es {
+		e.used = true
+	}
+	return true
 }

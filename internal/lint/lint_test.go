@@ -3,6 +3,7 @@ package lint_test
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"specinfer/internal/lint"
@@ -64,6 +65,82 @@ func TestMalformedDirectiveReported(t *testing.T) {
 	}
 	if !sawFloatEq {
 		t.Errorf("a malformed directive must not suppress the finding, got %v", diags)
+	}
+}
+
+const commaListSrc = `package fixture
+
+import "os"
+
+func Same(a, b float64) bool {
+	//lint:ignore floateq,nondeterminism one directive covers both findings on the next line
+	return a == b && os.Getenv("SPECINFER_MODE") != ""
+}
+`
+
+func TestIgnoreDirectiveCommaList(t *testing.T) {
+	diags := runFixture(t, "specinfer/internal/fixture", commaListSrc,
+		lint.FloatEqAnalyzer, lint.NondeterminismAnalyzer)
+	if len(diags) != 0 {
+		t.Fatalf("a comma-separated directive must suppress every named analyzer, got %v", diags)
+	}
+}
+
+const staleSrc = `package fixture
+
+func Max(a, b float64) float64 {
+	//lint:ignore floateq nothing on the next line compares floats anymore
+	if a > b {
+		return a
+	}
+	return b
+}
+`
+
+func TestStaleSuppressionReported(t *testing.T) {
+	diags := runFixture(t, "specinfer/internal/fixture", staleSrc, lint.FloatEqAnalyzer)
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the stale-suppression diagnostic, got %v", diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "lint" || !strings.Contains(d.Message, "stale suppression") {
+		t.Fatalf("unexpected diagnostic %v", d)
+	}
+	if d.Pos.Line != 4 {
+		t.Fatalf("staleness should anchor at the directive's line 4, got %d", d.Pos.Line)
+	}
+}
+
+func TestStaleJudgedAgainstRunSet(t *testing.T) {
+	// wrongAnalyzerSrc carries an errcheck directive over a floateq
+	// finding. With errcheck excluded from the run, the directive is not
+	// judged (TestIgnoreDirectiveIsPerAnalyzer); once errcheck runs and
+	// suppresses nothing, the same directive is stale.
+	diags := runFixture(t, "specinfer/internal/fixture", wrongAnalyzerSrc,
+		lint.FloatEqAnalyzer, lint.ErrCheckAnalyzer)
+	var stale, floateq bool
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "lint" && strings.Contains(d.Message, "stale suppression"):
+			stale = true
+		case d.Analyzer == "floateq":
+			floateq = true
+		}
+	}
+	if !stale {
+		t.Errorf("an unused directive for a running analyzer must be reported stale, got %v", diags)
+	}
+	if !floateq {
+		t.Errorf("the floateq finding must survive the wrong-analyzer directive, got %v", diags)
+	}
+}
+
+func TestUsedSuppressionIsNotStale(t *testing.T) {
+	diags := runFixture(t, "specinfer/internal/fixture", suppressedSrc, lint.FloatEqAnalyzer)
+	for _, d := range diags {
+		if d.Analyzer == "lint" {
+			t.Fatalf("a directive that suppresses a finding must not be stale, got %v", d)
+		}
 	}
 }
 
@@ -149,6 +226,45 @@ func Same(a, b float64) bool { return num.Eq(a, b) }
 	}
 	if len(one) != 1 || one[0].Path != "example.test/app" {
 		t.Fatalf("pattern ./app should load exactly the app package, got %v", one)
+	}
+}
+
+// writeModule lays out a scratch module rooted at a temp dir and returns
+// the root; files maps relative path to content.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadReportsParseErrors(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":         "module example.test\n\ngo 1.22\n",
+		"broken/bad.go":  "package broken\n\nfunc mangled( {\n",
+		"broken/good.go": "package broken\n\nfunc fine() {}\n",
+	})
+	if _, err := lint.Load(dir, "./..."); err == nil {
+		t.Fatal("an unparseable file must fail the load, got nil error")
+	}
+}
+
+func TestLoadReportsTypeErrors(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":     "module example.test\n\ngo 1.22\n",
+		"app/app.go": "package app\n\nfunc F() int { return undefinedIdent }\n",
+	})
+	_, err := lint.Load(dir, "./...")
+	if err == nil || !strings.Contains(err.Error(), "type-checking") {
+		t.Fatalf("a type-check failure must surface as a type-checking error, got %v", err)
 	}
 }
 

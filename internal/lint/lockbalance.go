@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// LockBalanceAnalyzer checks, per function body, that every Lock() is
+// released on every path that leaves the function — by an explicit
+// Unlock() or a defer Unlock() — and that no path locks a mutex it
+// already holds (a guaranteed deadlock with sync.Mutex). Branches that
+// continue past a statement must agree on what is held, so a lock taken
+// in only one arm of an if/switch/select is flagged where the paths
+// rejoin. A //lint:holds directive exempts mutexes the caller owns.
+var LockBalanceAnalyzer = &Analyzer{
+	Name: "lockbalance",
+	Doc: "every Lock() needs an Unlock()/defer Unlock() on all paths out of the " +
+		"function; no double-lock; branches must rejoin with the same locks held",
+	Run: runLockBalance,
+}
+
+func runLockBalance(p *Pass) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			// One leak report per acquisition site, even when several
+			// return paths leave it held.
+			leaked := map[token.Pos]bool{}
+			diverged := map[string]bool{}
+			hooks := lockHooks{
+				onDoubleLock: func(pos token.Pos, mu string) {
+					p.Reportf(pos, "%s.Lock() while %s is already held: deadlock", mu, mu)
+				},
+				onBareUnlock: func(pos token.Pos, mu string) {
+					p.Reportf(pos, "%s.Unlock() without a matching Lock() on this path", mu)
+				},
+				onExit: func(pos token.Pos, st *lockState, entry map[string]bool) {
+					for mu, lockPos := range st.held {
+						if st.deferred[mu] || entry[mu] {
+							continue
+						}
+						at := lockPos
+						if !at.IsValid() {
+							at = pos
+						}
+						if leaked[at] {
+							continue
+						}
+						leaked[at] = true
+						p.Reportf(at, "%s.Lock() is not released on the path leaving at line %d "+
+							"(missing Unlock or defer Unlock)", mu, p.Fset.Position(pos).Line)
+					}
+				},
+				onDiverge: func(pos token.Pos, mu string) {
+					key := p.Fset.Position(pos).String() + "/" + mu
+					if diverged[key] {
+						return
+					}
+					diverged[key] = true
+					p.Reportf(pos, "%s is held on some paths but not others after this statement", mu)
+				},
+			}
+			walkLockFunc(p, fn.Body, holdsOf(fn), hooks)
+		}
+	}
+}

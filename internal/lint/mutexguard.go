@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MutexGuardAnalyzer enforces the `// guarded by <mu>` annotation: a
+// struct field or package-level variable so annotated may only be
+// accessed while the named mutex is held. Holding is established
+// intraprocedurally — a Lock()/defer Unlock() dominating the access in
+// the same function, or a //lint:holds directive declaring the caller's
+// lock held on entry. The serving runtime's shared state (serveState
+// counters, Engine.srv, PrefixCache bookkeeping, the bench pair cache)
+// carries the annotation, so a new code path that forgets the lock fails
+// CI instead of racing.
+var MutexGuardAnalyzer = &Analyzer{
+	Name: "mutexguard",
+	Doc: "a field or package var annotated `// guarded by mu` may only be accessed " +
+		"with mu held (Lock/defer-Unlock in the same function, or //lint:holds)",
+	Run: runMutexGuard,
+}
+
+func runMutexGuard(p *Pass) {
+	fieldGuards, varGuards := collectGuards(p)
+	if len(fieldGuards) == 0 && len(varGuards) == 0 {
+		return
+	}
+	hooks := lockHooks{inlineFuncLitInherits: true}
+	hooks.onNode = func(n ast.Node, st *lockState) {
+		checkGuardedAccess(p, fieldGuards, varGuards, n, st)
+	}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			walkLockFunc(p, fn.Body, holdsOf(fn), hooks)
+		}
+	}
+}
+
+// checkGuardedAccess reports n when it reads or writes a guarded field
+// or variable without its mutex in the held set.
+func checkGuardedAccess(p *Pass, fieldGuards, varGuards map[types.Object]string, n ast.Node, st *lockState) {
+	switch n := n.(type) {
+	case *ast.SelectorExpr:
+		sel := p.Info.Selections[n]
+		if sel == nil || sel.Kind() != types.FieldVal {
+			return
+		}
+		mu, ok := fieldGuards[sel.Obj()]
+		if !ok {
+			return
+		}
+		base := exprString(n.X)
+		need := base + "." + mu
+		if _, held := st.held[need]; base == "" || !held {
+			p.Reportf(n.Sel.Pos(),
+				"access to %s.%s (guarded by %s) without holding %s", base, n.Sel.Name, mu, need)
+		}
+	case *ast.Ident:
+		obj := p.Info.Uses[n]
+		if obj == nil {
+			return
+		}
+		mu, ok := varGuards[obj]
+		if !ok {
+			return
+		}
+		if _, held := st.held[mu]; !held {
+			p.Reportf(n.Pos(), "access to %s (guarded by %s) without holding %s", n.Name, mu, mu)
+		}
+	}
+}
+
+// collectGuards scans the package for `guarded by <mu>` annotations on
+// struct fields (fieldGuards, matched through selections) and on
+// package-level var specs (varGuards, matched through plain uses).
+func collectGuards(p *Pass) (fieldGuards, varGuards map[types.Object]string) {
+	fieldGuards = map[types.Object]string{}
+	varGuards = map[types.Object]string{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, fld := range n.Fields.List {
+					mu := guardAnnotation(fld.Doc, fld.Comment)
+					if mu == "" {
+						continue
+					}
+					for _, name := range fld.Names {
+						if obj := p.Info.Defs[name]; obj != nil {
+							fieldGuards[obj] = mu
+						}
+					}
+				}
+			case *ast.GenDecl:
+				if n.Tok != token.VAR {
+					return true
+				}
+				for _, spec := range n.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					mu := guardAnnotation(vs.Doc, vs.Comment)
+					if mu == "" && len(n.Specs) == 1 {
+						mu = guardAnnotation(n.Doc, nil)
+					}
+					if mu == "" {
+						continue
+					}
+					for _, name := range vs.Names {
+						if obj := p.Info.Defs[name]; obj != nil {
+							varGuards[obj] = mu
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return fieldGuards, varGuards
+}
+
+// guardAnnotation extracts the mutex name from a `// guarded by <mu>`
+// annotation. Only comments that START with the phrase count — prose
+// that merely mentions "guarded by" is not an annotation — and the named
+// mutex must be a plain identifier.
+func guardAnnotation(groups ...*ast.CommentGroup) string {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+			rest, ok := strings.CutPrefix(text, "guarded by ")
+			if !ok {
+				continue
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				continue
+			}
+			mu := strings.Trim(fields[0], ".,;:()")
+			if !isIdentifier(mu) {
+				continue
+			}
+			return mu
+		}
+	}
+	return ""
+}
+
+// isIdentifier reports whether s is a plain Go identifier.
+func isIdentifier(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r == '_', 'a' <= r && r <= 'z', 'A' <= r && r <= 'Z':
+		case '0' <= r && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

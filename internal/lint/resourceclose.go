@@ -1,0 +1,656 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ResourceCloseAnalyzer tracks locals assigned from calls returning a
+// value whose method set has a niladic Close, Release, or Unpin — file
+// handles, arenas, pinned KV prefixes, closable sessions — and requires
+// every path out of the function to either release the value or transfer
+// its ownership. Recognized transfers: returning the value, storing it
+// into a field / package variable / map / slice element, sending it on a
+// channel, and capturing it in a (non-defer-release) closure. Plain call
+// arguments do NOT transfer ownership — pprof.StartCPUProfile(f) does
+// not adopt f. A deferred release covers return paths but not os.Exit /
+// log.Fatal paths, where deferred calls never run. Error-check branches
+// on the creation's error result waive the obligation (the resource is
+// nil there), as do explicit nil checks on the value itself.
+var ResourceCloseAnalyzer = &Analyzer{
+	Name: "resourceclose",
+	Doc: "a Close/Release/Unpin-able value created in a function must be released " +
+		"on every path (including error returns) or have its ownership transferred; " +
+		"deferred releases do not cover os.Exit paths",
+	Run: runResourceClose,
+}
+
+// releaseMethodOf returns the name of t's niladic release method, if any.
+func releaseMethodOf(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	for _, name := range []string{"Close", "Release", "Unpin"} {
+		obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name)
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if fn.Type().(*types.Signature).Params().Len() == 0 {
+			return name
+		}
+	}
+	return ""
+}
+
+// oblig is one outstanding release obligation.
+type oblig struct {
+	name     string       // variable name, for messages
+	rel      string       // the release method (Close/Release/Unpin)
+	pos      token.Pos    // creation site
+	deferred bool         // a deferred call releases it
+	errVar   types.Object // error result created alongside, if any
+}
+
+// rcState is the set of live obligations along one path.
+type rcState struct {
+	live map[types.Object]*oblig
+}
+
+func newRCState() *rcState { return &rcState{live: map[types.Object]*oblig{}} }
+
+func (s *rcState) clone() *rcState {
+	c := newRCState()
+	for obj, o := range s.live {
+		cp := *o
+		c.live[obj] = &cp
+	}
+	return c
+}
+
+type rcWalker struct {
+	p        *Pass
+	reported map[types.Object]bool
+}
+
+func runResourceClose(p *Pass) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			w := &rcWalker{p: p, reported: map[types.Object]bool{}}
+			st := newRCState()
+			if !w.stmts(fn.Body.List, st) {
+				w.exitCheck(fn.Body.Rbrace, st, false)
+			}
+		}
+	}
+}
+
+// exitCheck reports obligations still live where a path leaves the
+// function. isExit marks os.Exit/log.Fatal paths, where deferred
+// releases do not run.
+func (w *rcWalker) exitCheck(pos token.Pos, st *rcState, isExit bool) {
+	line := w.p.Fset.Position(pos).Line
+	for obj, o := range st.live {
+		if o.deferred && !isExit {
+			continue
+		}
+		if w.reported[obj] {
+			continue
+		}
+		w.reported[obj] = true
+		if isExit {
+			w.p.Reportf(o.pos, "%s is not released before the process exit at line %d "+
+				"(deferred calls do not run on os.Exit); call %s first", o.name, line, o.rel)
+		} else {
+			w.p.Reportf(o.pos, "%s is not released on the path leaving at line %d; "+
+				"call %s, defer it, or transfer ownership", o.name, line, o.rel)
+		}
+	}
+}
+
+// scopeCheck reports obligations created inside a branch or loop body
+// that are still unhandled when the scope ends.
+func (w *rcWalker) scopeCheck(pos token.Pos, before, after *rcState) {
+	line := w.p.Fset.Position(pos).Line
+	for obj, o := range after.live {
+		if _, entry := before.live[obj]; entry || o.deferred || w.reported[obj] {
+			continue
+		}
+		w.reported[obj] = true
+		w.p.Reportf(o.pos, "%s is not released before its scope ends at line %d; "+
+			"call %s or transfer ownership", o.name, line, o.rel)
+	}
+}
+
+// merge keeps an obligation live only when every continuing path still
+// holds it (a release or transfer on any arm counts for the whole
+// statement — optimistic, but branch conditions usually distinguish the
+// paths for us).
+func (s *rcState) merge(contributors []*rcState) {
+	for obj, o := range s.live {
+		alive := len(contributors) > 0
+		deferred := o.deferred
+		for _, c := range contributors {
+			co, ok := c.live[obj]
+			if !ok {
+				alive = false
+				break
+			}
+			deferred = deferred || co.deferred
+		}
+		if !alive {
+			delete(s.live, obj)
+			continue
+		}
+		o.deferred = deferred
+	}
+}
+
+func (w *rcWalker) stmts(list []ast.Stmt, st *rcState) bool {
+	for _, s := range list {
+		if w.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *rcWalker) stmt(s ast.Stmt, st *rcState) bool {
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt:
+		return false
+
+	case *ast.ExprStmt:
+		w.scanExprs(st, s.X)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			switch terminates(w.p, call) {
+			case termExit:
+				w.exitCheck(s.Pos(), st, true)
+				return true
+			case termPanic:
+				// Defers run and the process is crashing; not a leak.
+				return true
+			case termNone:
+			}
+		}
+		return false
+
+	case *ast.AssignStmt:
+		w.assign(s, st)
+		return false
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					w.scanExprs(st, v)
+				}
+				if len(vs.Values) == 1 {
+					if call, ok := vs.Values[0].(*ast.CallExpr); ok {
+						w.create(st, identObjs(w.p, identsOf(vs.Names)), call)
+					}
+				}
+			}
+		}
+		return false
+
+	case *ast.DeferStmt:
+		w.deferStmt(s, st)
+		return false
+
+	case *ast.GoStmt:
+		// The goroutine takes over anything it can reach: closure
+		// captures and call arguments both transfer.
+		w.transferAll(st, s.Call)
+		return false
+
+	case *ast.SendStmt:
+		w.scanExprs(st, s.Chan)
+		w.transferAll(st, s.Value)
+		return false
+
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			w.scanExprs(st, r)
+			w.transferAll(st, r)
+		}
+		w.exitCheck(s.Pos(), st, false)
+		return true
+
+	case *ast.BranchStmt:
+		return true
+
+	case *ast.IncDecStmt:
+		w.scanExprs(st, s.X)
+		return false
+
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st)
+
+	case *ast.IfStmt:
+		return w.ifStmt(s, st)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.scanExprs(st, s.Cond)
+		return w.loopBody(s.Body, s.Post, st)
+
+	case *ast.RangeStmt:
+		w.scanExprs(st, s.X)
+		return w.loopBody(s.Body, nil, st)
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.scanExprs(st, s.Tag)
+		return w.caseClauses(s.Body, st)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.stmt(s.Assign, st)
+		return w.caseClauses(s.Body, st)
+
+	case *ast.SelectStmt:
+		var contributors []*rcState
+		allTerm := len(s.Body.List) > 0
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			caseSt := st.clone()
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, caseSt)
+			}
+			if w.stmts(cc.Body, caseSt) {
+				continue
+			}
+			allTerm = false
+			w.scopeCheck(cc.Pos(), st, caseSt)
+			contributors = append(contributors, caseSt)
+		}
+		if allTerm {
+			return true
+		}
+		st.merge(contributors)
+		return false
+	}
+	return false
+}
+
+// loopBody walks a for/range body with a cloned state: obligations
+// created inside one iteration must be handled inside it, and releases
+// of outer obligations propagate out (optimistically — a loop that may
+// run zero times still counts).
+func (w *rcWalker) loopBody(body *ast.BlockStmt, post ast.Stmt, st *rcState) bool {
+	bodySt := st.clone()
+	if !w.stmts(body.List, bodySt) {
+		if post != nil {
+			w.stmt(post, bodySt)
+		}
+		w.scopeCheck(body.Rbrace, st, bodySt)
+	}
+	st.merge([]*rcState{bodySt})
+	return false
+}
+
+// caseClauses walks switch/type-switch clauses; the statement terminates
+// only when a default clause exists and every clause terminates.
+func (w *rcWalker) caseClauses(body *ast.BlockStmt, st *rcState) bool {
+	hasDefault := false
+	allTerm := true
+	var contributors []*rcState
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			w.scanExprs(st, e)
+		}
+		caseSt := st.clone()
+		if w.stmts(cc.Body, caseSt) {
+			continue
+		}
+		allTerm = false
+		w.scopeCheck(cc.Pos(), st, caseSt)
+		contributors = append(contributors, caseSt)
+	}
+	if hasDefault && allTerm {
+		return true
+	}
+	if !hasDefault {
+		contributors = append(contributors, st.clone())
+	}
+	st.merge(contributors)
+	return false
+}
+
+// ifStmt handles the branch waivers: `if err != nil` waives obligations
+// whose error result is err inside the body (the resource is nil on
+// that path), and nil checks on the value itself waive the arm where it
+// is nil.
+func (w *rcWalker) ifStmt(s *ast.IfStmt, st *rcState) bool {
+	if s.Init != nil {
+		w.stmt(s.Init, st)
+	}
+	w.scanExprs(st, s.Cond)
+	bodyWaive, elseWaive := w.condWaivers(s.Cond, st)
+
+	bodySt := st.clone()
+	for _, obj := range bodyWaive {
+		delete(bodySt.live, obj)
+	}
+	bodyTerm := w.stmts(s.Body.List, bodySt)
+	if !bodyTerm {
+		w.scopeCheck(s.Body.Rbrace, st, bodySt)
+	}
+
+	elseSt := st.clone()
+	for _, obj := range elseWaive {
+		delete(elseSt.live, obj)
+	}
+	elseTerm := false
+	if s.Else != nil {
+		elseTerm = w.stmt(s.Else, elseSt)
+		if !elseTerm {
+			w.scopeCheck(s.Else.End(), st, elseSt)
+		}
+	}
+
+	var contributors []*rcState
+	if !bodyTerm {
+		contributors = append(contributors, bodySt)
+	}
+	if !elseTerm {
+		contributors = append(contributors, elseSt)
+	}
+	if len(contributors) == 0 {
+		return true
+	}
+	st.merge(contributors)
+	return false
+}
+
+// condWaivers interprets nil comparisons in an if condition against the
+// live obligations.
+func (w *rcWalker) condWaivers(cond ast.Expr, st *rcState) (body, els []types.Object) {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return nil, nil
+	}
+	operand := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		return w.p.Info.Uses[id]
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil" && w.p.Info.Uses[id] == types.Universe.Lookup("nil")
+	}
+	var obj types.Object
+	switch {
+	case isNil(bin.Y):
+		obj = operand(bin.X)
+	case isNil(bin.X):
+		obj = operand(bin.Y)
+	}
+	if obj == nil {
+		return nil, nil
+	}
+	// The side of the comparison where obj is nil carries no obligation.
+	var nilSide []types.Object
+	if _, tracked := st.live[obj]; tracked {
+		nilSide = []types.Object{obj}
+	} else {
+		for tobj, o := range st.live {
+			if o.errVar == obj {
+				// err != nil means the resource was NOT created.
+				nilSide = append(nilSide, tobj)
+			}
+		}
+		// For error variables the polarity flips: err != nil is the arm
+		// where the resource is nil.
+		if bin.Op == token.NEQ {
+			return nilSide, nil
+		}
+		return nil, nilSide
+	}
+	if bin.Op == token.EQL { // x == nil: body has no resource
+		return nilSide, nil
+	}
+	return nil, nilSide // x != nil: else has no resource
+}
+
+// assign handles releases, transfers, re-creations, and new obligations
+// in one assignment statement.
+func (w *rcWalker) assign(s *ast.AssignStmt, st *rcState) {
+	for _, r := range s.Rhs {
+		w.scanExprs(st, r)
+	}
+	// Transfer: a tracked value on the RHS assigned into a field, map,
+	// slice element, or package-level variable changes owner.
+	if w.hasNonLocalLHS(s.Lhs) {
+		for _, r := range s.Rhs {
+			w.transferAll(st, r)
+		}
+	}
+	if len(s.Rhs) != 1 {
+		return
+	}
+	call, ok := s.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	w.create(st, identObjs(w.p, s.Lhs), call)
+}
+
+// create registers obligations for the assignees of one call.
+func (w *rcWalker) create(st *rcState, lhs []types.Object, call *ast.CallExpr) {
+	if fun := w.p.Info.Types[call.Fun]; fun.IsType() || fun.IsBuiltin() {
+		return
+	}
+	var errVar types.Object
+	for _, obj := range lhs {
+		if obj != nil && types.Identical(obj.Type(), types.Universe.Lookup("error").Type()) {
+			errVar = obj
+		}
+	}
+	for _, obj := range lhs {
+		if obj == nil || obj == errVar {
+			continue
+		}
+		rel := releaseMethodOf(obj.Type())
+		if rel == "" {
+			continue
+		}
+		if old, ok := st.live[obj]; ok && !old.deferred && !w.reported[obj] {
+			w.reported[obj] = true
+			w.p.Reportf(old.pos, "%s is overwritten at line %d without being released; call %s first",
+				old.name, w.p.Fset.Position(call.Pos()).Line, old.rel)
+		}
+		st.live[obj] = &oblig{name: obj.Name(), rel: rel, pos: call.Pos(), errVar: errVar}
+	}
+}
+
+// deferStmt marks obligations released by a deferred call — directly
+// (`defer f.Close()`), through a closure, or handed to a cleanup helper.
+func (w *rcWalker) deferStmt(s *ast.DeferStmt, st *rcState) {
+	if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		released := map[types.Object]bool{}
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if obj := w.releaseTarget(n); obj != nil {
+				released[obj] = true
+			}
+			return true
+		})
+		for obj := range released {
+			if o, ok := st.live[obj]; ok {
+				o.deferred = true
+			}
+		}
+		// Captures that are not releases transfer ownership to the closure.
+		w.transferAllExcept(st, fl.Body, released)
+		return
+	}
+	if obj := w.releaseTarget(s.Call); obj != nil {
+		if o, ok := st.live[obj]; ok {
+			o.deferred = true
+			return
+		}
+	}
+	// `defer cleanup(f)`: the helper owns the release from here on.
+	for _, a := range s.Call.Args {
+		for _, obj := range trackedIdentsIn(w.p, a, st) {
+			st.live[obj].deferred = true
+		}
+	}
+}
+
+// releaseTarget returns the tracked variable n releases, when n is a
+// call of its release method (f.Close(), h.Release(), ...).
+func (w *rcWalker) releaseTarget(n ast.Node) types.Object {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	switch sel.Sel.Name {
+	case "Close", "Release", "Unpin":
+	default:
+		return nil
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return w.p.Info.Uses[id]
+}
+
+// scanExprs discharges obligations released or captured anywhere in e:
+// explicit release calls on any path count immediately, and function
+// literals capturing a tracked value take its ownership.
+func (w *rcWalker) scanExprs(st *rcState, e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if obj := w.releaseTarget(n); obj != nil {
+			delete(st.live, obj)
+		}
+		if fl, ok := n.(*ast.FuncLit); ok {
+			w.transferAll(st, fl)
+			return false
+		}
+		return true
+	})
+}
+
+// transferAll discharges every tracked value referenced in n: the
+// reference escapes this function's bookkeeping (return value, stored,
+// sent, captured).
+func (w *rcWalker) transferAll(st *rcState, n ast.Node) {
+	w.transferAllExcept(st, n, nil)
+}
+
+func (w *rcWalker) transferAllExcept(st *rcState, n ast.Node, except map[types.Object]bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		id, ok := node.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := w.p.Info.Uses[id]
+		if obj == nil || except[obj] {
+			return true
+		}
+		if _, tracked := st.live[obj]; tracked {
+			delete(st.live, obj)
+		}
+		return true
+	})
+}
+
+// hasNonLocalLHS reports whether any assignee is a field, index, deref,
+// or package-level variable — the ownership-transfer sinks.
+func (w *rcWalker) hasNonLocalLHS(lhs []ast.Expr) bool {
+	for _, l := range lhs {
+		switch l := ast.Unparen(l).(type) {
+		case *ast.Ident:
+			obj := w.p.Info.Uses[l]
+			if obj != nil && obj.Parent() == w.p.Pkg.Scope() {
+				return true
+			}
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// identsOf adapts a []*ast.Ident to the []ast.Expr identObjs takes.
+func identsOf(names []*ast.Ident) []ast.Expr {
+	out := make([]ast.Expr, len(names))
+	for i, n := range names {
+		out[i] = n
+	}
+	return out
+}
+
+// identObjs resolves plain-identifier assignees to their objects (nil
+// for anything else, including the blank identifier).
+func identObjs(p *Pass, lhs []ast.Expr) []types.Object {
+	out := make([]types.Object, len(lhs))
+	for i, l := range lhs {
+		id, ok := ast.Unparen(l).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if obj := p.Info.Defs[id]; obj != nil {
+			out[i] = obj
+			continue
+		}
+		out[i] = p.Info.Uses[id]
+	}
+	return out
+}
+
+// trackedIdentsIn lists tracked variables referenced in e.
+func trackedIdentsIn(p *Pass, e ast.Expr, st *rcState) []types.Object {
+	var out []types.Object
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := p.Info.Uses[id]; obj != nil {
+				if _, tracked := st.live[obj]; tracked {
+					out = append(out, obj)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -120,6 +120,7 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 	}
 	s.addr.Store(ln.Addr().String())
 
+	//lint:ignore ctxflow the engine must outlive ctx for graceful drain; Run sequences engCancel after draining.Store itself
 	engCtx, engCancel := context.WithCancel(context.Background())
 	defer engCancel()
 	engDone := make(chan error, 1)
@@ -147,6 +148,7 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 	if err := <-engDone; err != nil {
 		return fmt.Errorf("server: engine drain: %w", err)
 	}
+	//lint:ignore ctxflow ctx is already cancelled here; the shutdown deadline cannot derive from a dead context
 	shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {

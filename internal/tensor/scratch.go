@@ -33,6 +33,7 @@ func (s *Scratch) Floats(key string, n int) []float32 {
 		buf = make([]float32, n)
 		s.floats[key] = buf
 	}
+	//lint:ignore aliasret Scratch's contract IS the aliasing arena: callers own the window only until their next Floats call
 	return buf[:n]
 }
 
@@ -45,6 +46,7 @@ func (s *Scratch) Rows(key string, n int) [][]float32 {
 		buf = make([][]float32, n)
 		s.rows[key] = buf
 	}
+	//lint:ignore aliasret Scratch's contract IS the aliasing arena: callers own the window only until their next Rows call
 	return buf[:n]
 }
 

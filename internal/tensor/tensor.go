@@ -32,6 +32,7 @@ func NewMatrix(rows, cols int) *Matrix {
 
 // Row returns the i-th row as a slice aliasing the matrix storage.
 func (m *Matrix) Row(i int) []float32 {
+	//lint:ignore aliasret Row is the documented in-place row view (writes through it update the matrix); Data is stable, not recycled scratch
 	return m.Data[i*m.Cols : (i+1)*m.Cols]
 }
 

@@ -1,33 +1,43 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # End-to-end smoke test of the specinferd serving daemon: boot it, wait
 # for health, run one generation, scrape metrics, then SIGTERM and
 # require a clean (exit 0) graceful drain. CI runs this after the unit
 # gate; `make servesmoke` runs it locally.
-set -eu
+#
+# Any failure (including ones surfaced by set -e mid-pipeline) lands in
+# the EXIT trap, which kills a still-running daemon so a broken run can
+# never leave an orphaned specinferd holding the port.
+set -euo pipefail
 
 ADDR="${SPECINFERD_ADDR:-127.0.0.1:18080}"
 BIN="${SPECINFERD_BIN:-./specinferd.smoke}"
+PID=""
+
+cleanup() {
+    if [ -n "$PID" ] && kill -0 "$PID" 2>/dev/null; then
+        kill "$PID" 2>/dev/null || true
+        wait "$PID" 2>/dev/null || true
+    fi
+    rm -f "$BIN"
+}
+trap cleanup EXIT
 
 go build -o "$BIN" ./cmd/specinferd
-trap 'rm -f "$BIN"' EXIT
 
 "$BIN" -addr "$ADDR" -batch 2 -queue 8 &
 PID=$!
 
 # Wait (up to ~10s) for the daemon to come up.
 up=0
-i=0
-while [ "$i" -lt 40 ]; do
+for _ in $(seq 1 40); do
     if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then
         up=1
         break
     fi
-    i=$((i + 1))
     sleep 0.25
 done
 if [ "$up" -ne 1 ]; then
     echo "servesmoke: daemon never became healthy" >&2
-    kill "$PID" 2>/dev/null || true
     exit 1
 fi
 
@@ -39,7 +49,6 @@ case "$out" in
 *'"tokens":['*) ;;
 *)
     echo "servesmoke: generate response missing tokens" >&2
-    kill "$PID" 2>/dev/null || true
     exit 1
     ;;
 esac
@@ -51,7 +60,6 @@ case "$metrics" in
 *'"completed":1'*) ;;
 *)
     echo "servesmoke: metricz did not record the completed request" >&2
-    kill "$PID" 2>/dev/null || true
     exit 1
     ;;
 esac
@@ -60,8 +68,10 @@ echo "servesmoke: SIGTERM drain"
 kill -TERM "$PID"
 if wait "$PID"; then
     echo "servesmoke: clean drain (exit 0)"
+    PID=""
 else
     code=$?
     echo "servesmoke: daemon exited $code after SIGTERM" >&2
+    PID=""
     exit 1
 fi
