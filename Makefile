@@ -45,9 +45,10 @@ serve:
 servesmoke:
 	./scripts/servesmoke.sh
 
-# Full measurement run with a pinned benchtime; writes BENCH_PR5.json
+# Full measurement run with a pinned benchtime; writes BENCH_PR7.json
 # (benchmark -> ns/op, ns/token, allocs/op, plus paged-vs-slice,
-# paged-vs-reference, batched-vs-reference, and prefix-cache
-# warm-vs-cold speedups) at the repo root.
+# paged-vs-reference, batched-vs-reference, prefix-cache warm-vs-cold,
+# and quantized-vs-float speedups, with host provenance) at the repo
+# root. Compare two reports with `go run ./cmd/benchdiff`.
 bench:
-	$(GO) run ./cmd/perfbench -benchtime 1s -o BENCH_PR5.json
+	$(GO) run ./cmd/perfbench -benchtime 1s -o BENCH_PR7.json

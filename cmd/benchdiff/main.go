@@ -1,0 +1,128 @@
+// Command benchdiff compares two perfbench reports (BENCH_*.json) and
+// prints per-scenario time ratios, flagging regressions beyond a
+// threshold:
+//
+//	benchdiff old.json new.json                  # report only
+//	benchdiff -max-regress 1.25 old.json new.json  # exit 1 on >25% regressions
+//
+// For every benchmark present in both reports it prints old and new
+// ns/op and the ratio new/old (>1 means the new report is slower).
+// With -max-regress R, any scenario whose ratio exceeds R makes the
+// command exit nonzero — the knob CI uses to turn a committed baseline
+// into an advisory perf gate. Benchmarks present in only one report are
+// listed but never fail the run (suites grow across PRs).
+//
+// Ratios are only meaningful when both reports come from the same kind
+// of host; benchdiff prints a warning when the recorded provenance (CPU
+// model, GOMAXPROCS) differs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// report mirrors the subset of cmd/perfbench's Report that benchdiff
+// consumes (the two commands stay dependency-free of each other; the
+// JSON document is the contract).
+type report struct {
+	Benchtime  string `json:"benchtime"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CPUModel   string `json:"cpu_model"`
+	Benchmarks map[string]struct {
+		NsPerOp     float64 `json:"ns_op"`
+		NsPerToken  float64 `json:"ns_token"`
+		AllocsPerOp uint64  `json:"allocs_op"`
+	} `json:"benchmarks"`
+}
+
+func load(path string) (report, error) {
+	var r report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Benchmarks) == 0 {
+		return r, fmt.Errorf("%s: no benchmarks in report", path)
+	}
+	return r, nil
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 0,
+		"fail (exit 1) if any scenario's time ratio new/old exceeds this; 0 disables")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress R] old.json new.json")
+		os.Exit(2)
+	}
+	oldRep, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRep, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	if oldRep.CPUModel != newRep.CPUModel || oldRep.GOMAXPROCS != newRep.GOMAXPROCS {
+		fmt.Printf("WARNING: host provenance differs (%q gomaxprocs=%d vs %q gomaxprocs=%d); ratios are advisory\n",
+			oldRep.CPUModel, oldRep.GOMAXPROCS, newRep.CPUModel, newRep.GOMAXPROCS)
+	}
+	if oldRep.Benchtime != newRep.Benchtime {
+		fmt.Printf("note: benchtime differs (%s vs %s)\n", oldRep.Benchtime, newRep.Benchtime)
+	}
+
+	var names []string
+	for name := range oldRep.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressions, onlyOld, onlyNew []string
+	fmt.Printf("%-44s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	for _, name := range names {
+		o := oldRep.Benchmarks[name]
+		n, ok := newRep.Benchmarks[name]
+		if !ok {
+			onlyOld = append(onlyOld, name)
+			continue
+		}
+		ratio := 0.0
+		if o.NsPerOp > 0 {
+			ratio = n.NsPerOp / o.NsPerOp
+		}
+		marker := ""
+		if *maxRegress > 0 && ratio > *maxRegress {
+			marker = "  << regression"
+			regressions = append(regressions, name)
+		}
+		fmt.Printf("%-44s %14.0f %14.0f %7.2fx%s\n", name, o.NsPerOp, n.NsPerOp, ratio, marker)
+	}
+	for name := range newRep.Benchmarks {
+		if _, ok := oldRep.Benchmarks[name]; !ok {
+			onlyNew = append(onlyNew, name)
+		}
+	}
+	sort.Strings(onlyNew)
+	for _, name := range onlyOld {
+		fmt.Printf("%-44s only in %s\n", name, flag.Arg(0))
+	}
+	for _, name := range onlyNew {
+		fmt.Printf("%-44s only in %s\n", name, flag.Arg(1))
+	}
+
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d scenario(s) regressed beyond %.2fx: %v\n",
+			len(regressions), *maxRegress, regressions)
+		os.Exit(1)
+	}
+}

@@ -1,11 +1,13 @@
 // Command perfbench runs the performance microbenchmark suite
 // (internal/bench.PerfSuite: batched vs reference forward passes, the
-// long-context paged/slice/reference cache sweep, engine iteration at
-// several batch sizes) and writes a machine-readable JSON report with
-// per-benchmark ns/op, ns/token, and allocs/op plus the derived
-// old-vs-new speedups. The output path comes from the required -o flag;
-// `make bench` pins the benchtime and writes BENCH_PR3.json at the repo
-// root.
+// long-context paged/slice/reference cache sweep, the quantized-vs-float
+// weight-streaming sweep, engine iteration at several batch sizes) and
+// writes a machine-readable JSON report with per-benchmark ns/op,
+// ns/token, and allocs/op plus the derived old-vs-new speedups and the
+// host provenance (CPU model, core counts) the numbers depend on. The
+// output path comes from the required -o flag; `make bench` pins the
+// benchtime and writes BENCH_PR7.json at the repo root. Compare two
+// reports with cmd/benchdiff.
 package main
 
 import (
@@ -45,12 +47,33 @@ type Report struct {
 	GOOS       string             `json:"goos"`
 	GOARCH     string             `json:"goarch"`
 	GOMAXPROCS int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"num_cpu"`
+	CPUModel   string             `json:"cpu_model,omitempty"`
 	Benchmarks map[string]Result  `json:"benchmarks"`
 	Speedups   map[string]Speedup `json:"speedups"`
 }
 
+// cpuModel reads the host CPU model name from /proc/cpuinfo (Linux).
+// Returns "" elsewhere — numbers in a BENCH_*.json are only comparable
+// against the same host, so the report records which one produced them.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
+}
+
 func main() {
 	benchtime := flag.String("benchtime", "0.3s", "per-benchmark run time (test.benchtime syntax, e.g. 0.3s or 10x)")
+	variant := flag.String("variant", "", "restrict the suite to one variant's scenarios (e.g. 'quantized' runs only the quantized-vs-float longctx sweep)")
 	out := flag.String("o", "", "output JSON path (required)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the suite run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
@@ -86,10 +109,26 @@ func main() {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CPUModel:   cpuModel(),
 		Benchmarks: map[string]Result{},
 		Speedups:   map[string]Speedup{},
 	}
 	suite := bench.PerfSuite()
+	if *variant != "" {
+		prefix, ok := map[string]string{"quantized": "forward/longctx-q/"}[*variant]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "perfbench: no scenarios for variant %q\n", *variant)
+			os.Exit(2)
+		}
+		var kept []bench.PerfBenchmark
+		for _, pb := range suite {
+			if strings.HasPrefix(pb.Name, prefix) {
+				kept = append(kept, pb)
+			}
+		}
+		suite = kept
+	}
 	for _, pb := range suite {
 		r := testing.Benchmark(pb.Run)
 		nsOp := float64(r.T.Nanoseconds()) / float64(r.N)
@@ -125,6 +164,9 @@ func main() {
 		case strings.HasSuffix(pb.Name, "/warm"):
 			base := strings.TrimSuffix(pb.Name, "/warm")
 			pairs = append(pairs, pairing{base, base + "/cold"})
+		case strings.HasSuffix(pb.Name, "/quant"):
+			base := strings.TrimSuffix(pb.Name, "/quant")
+			pairs = append(pairs, pairing{base, base + "/float"})
 		default:
 			continue
 		}

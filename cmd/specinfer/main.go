@@ -47,6 +47,7 @@ func main() {
 		topP       = flag.Float64("topp", 0, "nucleus sampling mass, 0 disables")
 		adaptive   = flag.Bool("adaptive", false, "dynamic best-first tree expansion")
 		ssms       = flag.Int("ssms", 1, "SSM pool size (merge-based speculation if >1)")
+		variant    = flag.String("variant", "", "LLM execution variant: paged|slice|reference|quantized (switches to the transformer substrate; empty = calibrated n-gram substrate)")
 		seed       = flag.Uint64("seed", 1, "engine seed")
 		showText   = flag.Bool("text", true, "print generations as pseudo-text")
 		workers    = flag.Int("workers", 0, "request-step worker pool size, 0 = GOMAXPROCS")
@@ -60,11 +61,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	pair := bench.Models(ds)
 	tok := tokenizer.New(ds.Vocab, ds.Seed)
 
+	// Execution variants are a transformer notion, so -variant switches
+	// the substrate from the calibrated n-gram pair to the transformer
+	// pair; core.Config.Variant then resolves the named view of the LLM.
+	var (
+		llm, ssm model.Model
+		extras   func(n int) []model.Model
+		trace    []workload.Request
+	)
+	if *variant == "" {
+		pair := bench.Models(ds)
+		llm, ssm = pair.LLM, pair.SSM
+		trace = pair.Trace(*requests, *gen)
+		extras = func(n int) []model.Model {
+			var out []model.Model
+			for _, m := range pair.ExtraSSMs(n) {
+				out = append(out, m)
+			}
+			return out
+		}
+	} else {
+		if *ssms > 1 {
+			fmt.Fprintln(os.Stderr, "-ssms > 1 requires the n-gram substrate (drop -variant)")
+			os.Exit(2)
+		}
+		tf := bench.TransformerPair(ds)
+		llm, ssm = tf.LLM, tf.SSM
+		trace = tf.Trace(*requests, *gen)
+		extras = func(int) []model.Model { return nil }
+	}
+
 	cfg := core.Config{
-		LLM:      pair.LLM,
+		LLM:      llm,
+		Variant:  *variant,
 		SeqDepth: *depth,
 		MaxBatch: *batch,
 		Seed:     *seed,
@@ -88,7 +119,7 @@ func main() {
 		cfg.Mode = core.Incremental
 	case "sequence":
 		cfg.Mode = core.SequenceSpec
-		cfg.SSMs = []model.Model{pair.SSM}
+		cfg.SSMs = []model.Model{ssm}
 	case "tree":
 		cfg.Mode = core.TreeSpec
 		exp := make(tree.ExpansionConfig, *depth)
@@ -97,10 +128,8 @@ func main() {
 		}
 		exp[0] = *width
 		cfg.Expansion = exp
-		cfg.SSMs = []model.Model{pair.SSM}
-		for _, extra := range pair.ExtraSSMs(*ssms - 1) {
-			cfg.SSMs = append(cfg.SSMs, extra)
-		}
+		cfg.SSMs = []model.Model{ssm}
+		cfg.SSMs = append(cfg.SSMs, extras(*ssms-1)...)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
@@ -111,7 +140,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	trace := pair.Trace(*requests, *gen)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -151,7 +179,11 @@ func main() {
 
 	fmt.Printf("SpecInfer-Go — %s on %s, %d requests, batch %d, %s decoding\n",
 		cfg.Mode, ds.Name, *requests, *batch, cfg.Sample.Mode)
-	fmt.Printf("LLM: %s   SSM pool: %d\n\n", pair.LLM.Name(), len(cfg.SSMs))
+	variantNote := ""
+	if *variant != "" {
+		variantNote = " [" + *variant + "]"
+	}
+	fmt.Printf("LLM: %s%s   SSM pool: %d\n\n", llm.Name(), variantNote, len(cfg.SSMs))
 
 	var totalSteps, totalTokens int
 	for i, r := range results {

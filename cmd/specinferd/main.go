@@ -52,6 +52,7 @@ func main() {
 		topP       = flag.Float64("topp", 0, "nucleus sampling mass, 0 disables")
 		adaptive   = flag.Bool("adaptive", false, "dynamic best-first tree expansion")
 		ssms       = flag.Int("ssms", 1, "SSM pool size (merge-based speculation if >1)")
+		variant    = flag.String("variant", "", "LLM execution variant: paged|slice|reference|quantized (switches to the transformer substrate; empty = calibrated n-gram substrate)")
 		seed       = flag.Uint64("seed", 1, "engine seed")
 		workers    = flag.Int("workers", 0, "request-step worker pool size, 0 = GOMAXPROCS")
 		addr       = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
@@ -67,11 +68,38 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	pair := bench.Models(ds)
 	tok := tokenizer.New(ds.Vocab, ds.Seed)
 
+	// -variant switches the substrate to the transformer pair (execution
+	// variants are a transformer notion); core.Config.Variant resolves
+	// the named view of the LLM at engine construction.
+	var (
+		llm, ssm model.Model
+		extras   func(n int) []model.Model
+	)
+	if *variant == "" {
+		pair := bench.Models(ds)
+		llm, ssm = pair.LLM, pair.SSM
+		extras = func(n int) []model.Model {
+			var out []model.Model
+			for _, m := range pair.ExtraSSMs(n) {
+				out = append(out, m)
+			}
+			return out
+		}
+	} else {
+		if *ssms > 1 {
+			fmt.Fprintln(os.Stderr, "-ssms > 1 requires the n-gram substrate (drop -variant)")
+			os.Exit(2)
+		}
+		tf := bench.TransformerPair(ds)
+		llm, ssm = tf.LLM, tf.SSM
+		extras = func(int) []model.Model { return nil }
+	}
+
 	cfg := core.Config{
-		LLM:          pair.LLM,
+		LLM:          llm,
+		Variant:      *variant,
 		SeqDepth:     *depth,
 		MaxBatch:     *batch,
 		Seed:         *seed,
@@ -100,7 +128,7 @@ func main() {
 		cfg.Mode = core.Incremental
 	case "sequence":
 		cfg.Mode = core.SequenceSpec
-		cfg.SSMs = []model.Model{pair.SSM}
+		cfg.SSMs = []model.Model{ssm}
 	case "tree":
 		cfg.Mode = core.TreeSpec
 		exp := make(tree.ExpansionConfig, *depth)
@@ -109,10 +137,8 @@ func main() {
 		}
 		exp[0] = *width
 		cfg.Expansion = exp
-		cfg.SSMs = []model.Model{pair.SSM}
-		for _, extra := range pair.ExtraSSMs(*ssms - 1) {
-			cfg.SSMs = append(cfg.SSMs, extra)
-		}
+		cfg.SSMs = []model.Model{ssm}
+		cfg.SSMs = append(cfg.SSMs, extras(*ssms-1)...)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
@@ -138,8 +164,12 @@ func main() {
 
 	fmt.Printf("specinferd — %s on %s, batch %d, queue %d, %s decoding\n",
 		cfg.Mode, ds.Name, *batch, *queue, cfg.Sample.Mode)
-	fmt.Printf("LLM: %s   SSM pool: %d   listening on %s\n",
-		pair.LLM.Name(), len(cfg.SSMs), *addr)
+	variantNote := ""
+	if *variant != "" {
+		variantNote = " [" + *variant + "]"
+	}
+	fmt.Printf("LLM: %s%s   SSM pool: %d   listening on %s\n",
+		llm.Name(), variantNote, len(cfg.SSMs), *addr)
 
 	if err := srv.Run(ctx, *addr); err != nil {
 		fmt.Fprintln(os.Stderr, err)

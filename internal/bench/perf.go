@@ -46,6 +46,8 @@ var (
 	perfOnce sync.Once
 	perfLLM  *transformer.Model
 	perfSSM  *transformer.Model
+	bwOnce   sync.Once
+	bwLLM    *transformer.Model
 )
 
 func perfModels() (*transformer.Model, *transformer.Model) {
@@ -60,6 +62,40 @@ func perfModels() (*transformer.Model, *transformer.Model) {
 		})
 	})
 	return perfLLM, perfSSM
+}
+
+// bwModel is the weight-streaming benchmark model for the quantized
+// sweep. It is deliberately wider than perf-LLM (hidden 256, FFN 3072,
+// vocab 4096, 2 wide heads): at this geometry the projection and LM-head
+// matmuls are ~70% of even a c1024 decode step, so the scenario measures
+// what quantization actually buys on weight streaming rather than being
+// drowned by attention over the (still-float) KV cache — the regime the
+// paper's serving workloads live in, where weight matrices dwarf any
+// single request's KV footprint.
+func bwModel() *transformer.Model {
+	bwOnce.Do(func() {
+		bwLLM = transformer.New(transformer.Config{
+			Name: "perf-LLM-bw", Vocab: 4096, Hidden: 256, Heads: 2, FFN: 3072,
+			Layers: 4, Seed: 63,
+		})
+	})
+	return bwLLM
+}
+
+// bwSession opens a session on the bandwidth model: "float" is the paged
+// batched path, "quant" the same path with block-quantized projection
+// weights (the PR 7 tentpole). The two are NOT bit-identical — quant is
+// tolerance-gated — so their twin speedup is a genuine accuracy/speed
+// trade, unlike the paged/slice/ref trio.
+func bwSession(kind string) model.Session {
+	m := bwModel()
+	switch kind {
+	case "float":
+		return m.NewSession()
+	case "quant":
+		return m.Quantized().NewSession()
+	}
+	panic("bench: unknown bandwidth session kind " + kind)
 }
 
 func perfPrompt(n int) []model.Token {
@@ -206,6 +242,29 @@ func longCtxBench(ctxLen, width int, kind string) func(*testing.B) {
 	}
 }
 
+// longCtxQuantBench is longCtxBench on the bandwidth model: same
+// committed-context construction (prefill half, decode half), same
+// pinned-context tree verification per op, with kind selecting the
+// quantized or float weight path. The quant/float ratio is the PR 7
+// acceptance gate (>= 1.5x on c1024/decode8).
+func longCtxQuantBench(ctxLen, width int, kind string) func(*testing.B) {
+	return func(b *testing.B) {
+		s := bwSession(kind)
+		s.Prefill(perfPrompt(ctxLen / 2))
+		rng := tensor.NewRNG(4321)
+		for s.Len() < ctxLen {
+			s.Decode(rng.Intn(256))
+		}
+		tr := perfTree(width)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.DecodeTree(tr)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(tr.Len()), "ns/token")
+	}
+}
+
 func engineBench(batch int, serialRef bool) func(*testing.B) {
 	return func(b *testing.B) {
 		llm, ssm := perfModels()
@@ -290,9 +349,10 @@ func prefixBench(batch, prefixLen int, warm bool) func(*testing.B) {
 // PerfSuite returns the full microbenchmark suite: batched vs reference
 // forward passes (prefill, decode, tree verification at widths 1–5), the
 // long-context cache-layout sweep (committed context 128/512/1024 on the
-// paged, slice, and reference variants), and the engine iteration loop at
-// batch sizes 1–16, plus the serial pre-batching engine baseline at
-// batch 8.
+// paged, slice, and reference variants), the quantized-vs-float weight
+// streaming sweep on the wide bandwidth model, and the engine iteration
+// loop at batch sizes 1–16, plus the serial pre-batching engine baseline
+// at batch 8.
 func PerfSuite() []PerfBenchmark {
 	var out []PerfBenchmark
 	add := func(name string, tokens float64, fn func(*testing.B)) {
@@ -321,6 +381,15 @@ func PerfSuite() []PerfBenchmark {
 	w4 := float64(perfTree(4).Len())
 	for _, kind := range kinds {
 		add("forward/longctx/c1024/tree-w4/"+kind, w4, longCtxBench(1024, 4, kind))
+	}
+	// PR 7 tentpole scenario: quantized vs float weight streaming on the
+	// wide bandwidth model at long context (gate: quant >= 1.5x float on
+	// c1024). Decode-chain shape, same construction as the longctx sweep.
+	for _, c := range []int{256, 1024} {
+		for _, kind := range []string{"quant", "float"} {
+			add(fmt.Sprintf("forward/longctx-q/c%d/decode8/%s", c, kind), chain,
+				longCtxQuantBench(c, 1, kind))
+		}
 	}
 	for _, bs := range []int{1, 4, 8, 16} {
 		add(perfEngineName(bs, false), float64(bs*perfGenLen), engineBench(bs, false))

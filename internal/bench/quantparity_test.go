@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"math"
+	"testing"
+
+	"specinfer/internal/tensor"
+	"specinfer/internal/workload"
+)
+
+// TestQuantizedAcceptanceParity is the behavioural acceptance gate for
+// the quantized variant on the Table-1 alignment workloads: measured the
+// way Table1 measures verification success (the LLM's greedy choice at a
+// context is a hit if it lands in the SSM's top-k), the quantized LLM's
+// hit rate must sit within one percentage point of the float LLM's, for
+// every k. Quantization may perturb distributions (tolerance tests bound
+// that); what it must NOT do is shift how often speculation verifies —
+// that would silently change every speedup the harness reports.
+func TestQuantizedAcceptanceParity(t *testing.T) {
+	const (
+		prompts = 8
+		steps   = 48
+		tolPP   = 0.01 // one percentage point
+	)
+	for _, ds := range Datasets()[:2] {
+		ds := ds
+		t.Run(ds.Name, func(t *testing.T) {
+			tf := TransformerPair(ds)
+			ng := Models(ds) // calibrated SSM + ground-truth walks
+			quantLLM, ok := tf.LLM.Variant("quantized")
+			if !ok {
+				t.Fatal("transformer LLM must expose the quantized variant")
+			}
+			var hitsF, hitsQ [5]int
+			total := 0
+			rng := tensor.NewRNG(calib.Seed ^ ds.Seed ^ 0x517cc1b727220a95)
+			for pi := 0; pi < prompts; pi++ {
+				text := ng.Markov.Generate(rng, calib.PromptLen+steps)
+				fSess := tf.LLM.NewSession()
+				qSess := quantLLM.NewSession()
+				sSess := ng.SSM.NewSession()
+				fDist := fSess.Prefill(text[:calib.PromptLen])
+				qDist := qSess.Prefill(text[:calib.PromptLen])
+				sDist := sSess.Prefill(text[:calib.PromptLen])
+				for s := calib.PromptLen; s < len(text); s++ {
+					topk := tensor.TopK(sDist, 5)
+					fTok, _ := tensor.ArgMax(fDist)
+					qTok, _ := tensor.ArgMax(qDist)
+					for k, idx := range topk {
+						if idx == fTok {
+							for j := k; j < 5; j++ {
+								hitsF[j]++
+							}
+							break
+						}
+					}
+					for k, idx := range topk {
+						if idx == qTok {
+							for j := k; j < 5; j++ {
+								hitsQ[j]++
+							}
+							break
+						}
+					}
+					total++
+					fDist = fSess.Decode(text[s])
+					qDist = qSess.Decode(text[s])
+					sDist = sSess.Decode(text[s])
+				}
+			}
+			for k := 0; k < 5; k++ {
+				rf := float64(hitsF[k]) / float64(total)
+				rq := float64(hitsQ[k]) / float64(total)
+				if d := math.Abs(rf - rq); d > tolPP {
+					t.Errorf("top-%d hit rate diverged by %.2fpp (float %.2f%%, quantized %.2f%%)",
+						k+1, d*100, rf*100, rq*100)
+				}
+			}
+		})
+	}
+}
+
+// TestTransformerPairDeterministic: the CLI substrate is cached and
+// reproducible — two lookups return the same models, and traces are
+// stable across calls.
+func TestTransformerPairDeterministic(t *testing.T) {
+	ds := Datasets()[0]
+	a := TransformerPair(ds)
+	b := TransformerPair(ds)
+	if a.LLM != b.LLM || a.SSM != b.SSM {
+		t.Fatal("TransformerPair must cache per dataset")
+	}
+	if a.LLM.VocabSize() != ds.Vocab {
+		t.Fatalf("LLM vocab %d != dataset vocab %d", a.LLM.VocabSize(), ds.Vocab)
+	}
+	t1, t2 := a.Trace(3, 8), a.Trace(3, 8)
+	for i := range t1 {
+		if len(t1[i].Prompt) != len(t2[i].Prompt) {
+			t.Fatal("traces not deterministic")
+		}
+		for j := range t1[i].Prompt {
+			if t1[i].Prompt[j] != t2[i].Prompt[j] {
+				t.Fatal("traces not deterministic")
+			}
+		}
+	}
+	var _ workload.Request = t1[0]
+}

@@ -17,6 +17,7 @@ import (
 	"specinfer/internal/model"
 	"specinfer/internal/ngram"
 	"specinfer/internal/tensor"
+	"specinfer/internal/transformer"
 	"specinfer/internal/workload"
 )
 
@@ -126,3 +127,57 @@ func (p Pair) SSMModels() []model.Model { return []model.Model{p.SSM} }
 
 // Datasets returns the benchmark datasets in the paper's order.
 func Datasets() []workload.Dataset { return workload.Datasets() }
+
+// TFPair bundles a transformer LLM/SSM pair for a dataset — the substrate
+// the CLIs switch to when an execution variant is requested, since
+// variants (paged/slice/reference/quantized) are a transformer notion the
+// n-gram models don't have. The nets are small random models on the
+// dataset's vocabulary: right-shaped for exercising kernels and serving
+// paths, not trained for acceptance quality (the calibrated n-gram pair
+// remains the paper-faithful substrate for the experiment tables).
+type TFPair struct {
+	Dataset workload.Dataset
+	Markov  *workload.Markov
+	LLM     *transformer.Model
+	SSM     *transformer.Model
+}
+
+var (
+	tfPairCacheMu sync.Mutex
+	tfPairCache   = map[string]TFPair{} // guarded by tfPairCacheMu
+)
+
+// TransformerPair builds the transformer LLM/SSM pair for a dataset.
+// Deterministic and cached, like Models.
+func TransformerPair(ds workload.Dataset) TFPair {
+	tfPairCacheMu.Lock()
+	defer tfPairCacheMu.Unlock()
+	if p, ok := tfPairCache[ds.Name]; ok {
+		return p
+	}
+	p := TFPair{
+		Dataset: ds,
+		Markov:  workload.NewMarkov(ds),
+		LLM: transformer.New(transformer.Config{
+			Name: "tf-LLM(" + ds.Name + ")", Vocab: ds.Vocab,
+			Hidden: 64, Heads: 4, FFN: 160, Layers: 4,
+			Seed: calib.Seed ^ ds.Seed,
+		}),
+		SSM: transformer.New(transformer.Config{
+			Name: "tf-SSM(" + ds.Name + ")", Vocab: ds.Vocab,
+			Hidden: 32, Heads: 4, FFN: 64, Layers: 2,
+			Seed: calib.Seed ^ ds.Seed ^ 0x9e3779b97f4a7c15,
+		}),
+	}
+	tfPairCache[ds.Name] = p
+	return p
+}
+
+// Trace samples a request trace for the pair's dataset.
+func (p TFPair) Trace(n, maxNew int) []workload.Request {
+	rng := tensor.NewRNG(calib.Seed*5 + p.Dataset.Seed)
+	return p.Markov.Trace(rng, n, calib.PromptLen, maxNew)
+}
+
+// SSMModels returns the SSM pool as model.Model values.
+func (p TFPair) SSMModels() []model.Model { return []model.Model{p.SSM} }

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"specinfer/internal/model"
+	"specinfer/internal/sampling"
+	"specinfer/internal/transformer"
+	"specinfer/internal/tree"
+	"specinfer/internal/workload"
+)
+
+// variantModels builds a transformer (llm, ssm) pair small enough for
+// engine-level variant tests.
+func variantModels() (model.Model, model.Model) {
+	llm := transformer.New(transformer.Config{
+		Name: "var-llm", Vocab: 64, Hidden: 32, Heads: 4, FFN: 64, Layers: 2, Seed: 5,
+	})
+	ssm := transformer.New(transformer.Config{
+		Name: "var-ssm", Vocab: 64, Hidden: 16, Heads: 2, FFN: 32, Layers: 1, Seed: 6,
+	})
+	return llm, ssm
+}
+
+// TestVariantSelection: Config.Variant resolves through model.Varianter
+// at engine construction — the effective LLM is the named view, not the
+// model passed in.
+func TestVariantSelection(t *testing.T) {
+	llm, _ := variantModels()
+	e, err := NewEngine(Config{
+		Mode: Incremental, LLM: llm, Sample: sampling.GreedyConfig(),
+		Variant: "quantized", Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Config().LLM.Name(); got != llm.Name() {
+		// Variant views keep the model's name (same weights); this guards
+		// against accidentally swapping in a different model entirely.
+		t.Fatalf("variant changed model identity: %s vs %s", got, llm.Name())
+	}
+	if _, ok := e.Config().LLM.(*transformer.Model); ok {
+		t.Fatal("Config.Variant=quantized left the raw paged model in place")
+	}
+}
+
+// TestVariantErrors: unknown variant names and substrates without
+// variant support fail at construction, not at serving time.
+func TestVariantErrors(t *testing.T) {
+	llm, _ := variantModels()
+	if _, err := NewEngine(Config{
+		Mode: Incremental, LLM: llm, Sample: sampling.GreedyConfig(), Variant: "turbo",
+	}); err == nil {
+		t.Fatal("unknown variant name must fail")
+	}
+	if _, err := NewEngine(Config{
+		Mode: Incremental, LLM: nonVariantModel{llm}, Sample: sampling.GreedyConfig(), Variant: "quantized",
+	}); err == nil {
+		t.Fatal("variant on a model without Varianter must fail")
+	}
+}
+
+// nonVariantModel hides the Varianter method of an underlying model.
+type nonVariantModel struct{ model.Model }
+
+// TestQuantizedVariantGreedyLossless runs the full tree-speculation
+// engine with the quantized LLM variant and checks the paper's greedy
+// losslessness property still holds: tree-speculative output matches the
+// quantized model's OWN incremental decoding token for token. (Matching
+// the float model is a tolerance question — see internal/transformer —
+// but self-consistency is exact regardless of quantization error.)
+func TestQuantizedVariantGreedyLossless(t *testing.T) {
+	llm, ssm := variantModels()
+	reqs := []workload.Request{
+		{ID: 0, Prompt: []int{1, 2, 3, 4, 5}, MaxNewTok: 16},
+		{ID: 1, Prompt: []int{9, 8, 7}, MaxNewTok: 16},
+	}
+	inc, _ := run(t, Config{
+		Mode: Incremental, LLM: llm, Sample: sampling.GreedyConfig(),
+		Variant: "quantized", Seed: 1,
+	}, reqs)
+	spec, _ := run(t, Config{
+		Mode: TreeSpec, LLM: llm, SSMs: []model.Model{ssm},
+		Expansion: tree.WidthConfig(3)[:4],
+		Sample:    sampling.GreedyConfig(), Variant: "quantized", Seed: 1,
+	}, reqs)
+	for i := range reqs {
+		if len(inc[i].Output) != len(spec[i].Output) {
+			t.Fatalf("req %d: lengths differ: %d vs %d", i, len(inc[i].Output), len(spec[i].Output))
+		}
+		for j := range inc[i].Output {
+			if inc[i].Output[j] != spec[i].Output[j] {
+				t.Fatalf("req %d diverged at %d: %v vs %v",
+					i, j, inc[i].Output, spec[i].Output)
+			}
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Block-quantized weights for the bandwidth-honest matmul path.
+//
+// A QuantMatrix stores each weight row as 7-bit symmetric block-quantized
+// codes: the row is split into blocks of Block consecutive weights, each
+// block gets one float32 scale = maxAbs/63, and every weight becomes
+// q = round(w/scale) clamped to [-63, 63]. The stored code is the OFFSET
+// form u = q + 64 in [1, 127], packed four codes per uint64 in 16-bit
+// lanes (element i occupies bits 16*(i mod 4)). That costs 2 bytes per
+// weight — half of float32 — plus 4 bytes of scale and 4 bytes of
+// precomputed code sum per block.
+//
+// The offset packing is what makes the kernel fast on a scalar core: the
+// activation vector is quantized the same way but packed with REVERSED
+// lane order, so ONE 64-bit integer multiply of a weight word by an
+// activation word produces the sum of the four lane-wise code products in
+// bits [48, 64) — a 4-wide dot-product step per multiply. The lanes below
+// cannot carry into it: a lane sum is at most 4*127*127 = 64516 < 2^16.
+// The signed dot is recovered exactly from the unsigned one,
+//
+//	sum(qw*qx) = raw - 64*sum(uW) - 64*sum(uX) + 4096*n,
+//
+// with sum(uW) precomputed per weight block at quantize time and
+// sum(uX) computed once per activation vector, then scaled by
+// scaleW*scaleX and accumulated across blocks in float32. Integer
+// arithmetic inside a block is exact, so results are bit-deterministic:
+// independent of row chunking, worker count, and unrolling.
+//
+// This deliberately trades accuracy for bandwidth and integer throughput:
+// it is the repository's first NON-bit-exact model variant, gated by
+// tolerance tests (ApproxEqRel) instead of the golden float-for-float
+// equality the float paths keep (DESIGN.md §12).
+
+// QuantBlock is the default quantization block size. 64 weights per
+// block keeps the per-block bookkeeping (scale + code sum) under 7% of
+// the payload while the measured kernel speedup holds (smaller blocks
+// spend proportionally more time in the float correction term).
+const QuantBlock = 64
+
+// QuantMatrix is a block-quantized (rows x cols) weight matrix. See the
+// package comment above for the storage format. Cols and Block must be
+// multiples of 4 (the packing width); the final block of a row may be
+// short when Cols is not a multiple of Block.
+type QuantMatrix struct {
+	Rows, Cols int
+	Block      int
+	packed     []uint64  // Rows * Cols/4; element i of a row in bits 16*(i%4)
+	scales     []float32 // Rows * blocks per row
+	sums       []int32   // Rows * blocks per row: per-block sum of codes u
+}
+
+// blocksPerRow returns ceil(Cols/Block).
+func (q *QuantMatrix) blocksPerRow() int { return (q.Cols + q.Block - 1) / q.Block }
+
+// Bytes reports the storage footprint of the quantized payload including
+// per-block metadata — the quantity the bandwidth benchmarks compare
+// against Rows*Cols*4 float bytes.
+func (q *QuantMatrix) Bytes() int {
+	return len(q.packed)*8 + len(q.scales)*4 + len(q.sums)*4
+}
+
+// Quantize block-quantizes m with the given block size (use QuantBlock).
+func Quantize(m *Matrix, block int) *QuantMatrix {
+	if block < 4 || block%4 != 0 {
+		panic(fmt.Sprintf("tensor: Quantize block %d must be a positive multiple of 4", block))
+	}
+	if m.Cols%4 != 0 {
+		panic(fmt.Sprintf("tensor: Quantize cols %d must be a multiple of 4", m.Cols))
+	}
+	q := &QuantMatrix{Rows: m.Rows, Cols: m.Cols, Block: block}
+	nb := q.blocksPerRow()
+	q.packed = make([]uint64, m.Rows*m.Cols/4)
+	q.scales = make([]float32, m.Rows*nb)
+	q.sums = make([]int32, m.Rows*nb)
+	pcols := m.Cols / 4
+	for j := 0; j < m.Rows; j++ {
+		row := m.Row(j)
+		for b := 0; b < nb; b++ {
+			lo := b * block
+			hi := lo + block
+			if hi > m.Cols {
+				hi = m.Cols
+			}
+			scale, inv := blockScale(row[lo:hi])
+			q.scales[j*nb+b] = scale
+			var sum int32
+			for i := lo; i < hi; i++ {
+				u := quantizeCode(row[i], inv)
+				sum += int32(u)
+				q.packed[j*pcols+i/4] |= uint64(u) << (16 * uint(i%4))
+			}
+			q.sums[j*nb+b] = sum
+		}
+	}
+	return q
+}
+
+// blockScale returns the symmetric 7-bit scale for one block (maxAbs/63)
+// and its reciprocal (0 for an all-zero block, which quantizes to q=0).
+func blockScale(block []float32) (scale, inv float32) {
+	var maxAbs float32
+	for _, v := range block {
+		if v < 0 {
+			v = -v
+		}
+		if v > maxAbs {
+			maxAbs = v
+		}
+	}
+	scale = maxAbs / 63
+	if scale > 0 {
+		inv = 1 / scale
+	}
+	return scale, inv
+}
+
+// quantizeCode maps one value to its offset code u = clamp(round(v*inv),
+// -63, 63) + 64 in [1, 127].
+func quantizeCode(v, inv float32) int32 {
+	q := int32(math.Round(float64(v) * float64(inv)))
+	if q > 63 {
+		q = 63
+	} else if q < -63 {
+		q = -63
+	}
+	return q + 64
+}
+
+// Dequantize reconstructs the float matrix the quantized codes represent
+// (scale * q per element) — the tolerance tests compare against it.
+func (q *QuantMatrix) Dequantize() *Matrix {
+	m := NewMatrix(q.Rows, q.Cols)
+	nb := q.blocksPerRow()
+	pcols := q.Cols / 4
+	for j := 0; j < q.Rows; j++ {
+		row := m.Row(j)
+		for i := 0; i < q.Cols; i++ {
+			u := int32(q.packed[j*pcols+i/4]>>(16*uint(i%4))) & 0xffff
+			row[i] = float32(u-64) * q.scales[j*nb+i/q.Block]
+		}
+	}
+	return m
+}
+
+// packVec quantizes one activation vector with the same block scheme and
+// packs it with reversed lane order (element i in bits 16*(3 - i mod 4)),
+// the layout the SWAR kernel multiplies against. px must hold len(x)/4
+// words; xs and xsum one entry per block.
+func packVec(x []float32, block int, px []uint64, xs []float32, xsum []int32) {
+	nb := (len(x) + block - 1) / block
+	for b := 0; b < nb; b++ {
+		lo := b * block
+		hi := lo + block
+		if hi > len(x) {
+			hi = len(x)
+		}
+		scale, inv := blockScale(x[lo:hi])
+		xs[b] = scale
+		var sum int32
+		for g := lo / 4; g < hi/4; g++ {
+			u0 := quantizeCode(x[4*g], inv)
+			u1 := quantizeCode(x[4*g+1], inv)
+			u2 := quantizeCode(x[4*g+2], inv)
+			u3 := quantizeCode(x[4*g+3], inv)
+			sum += u0 + u1 + u2 + u3
+			px[g] = uint64(u0)<<48 | uint64(u1)<<32 | uint64(u2)<<16 | uint64(u3)
+		}
+		xsum[b] = sum
+	}
+}
+
+// MatMulTQ computes out = X * Wq^T like MatMulT, with W block-quantized
+// and the activations quantized on the fly: each row of X is packed once
+// (per-block 7-bit codes, reversed lanes) into scr-owned buffers, then
+// every output element is the SWAR integer dot described in the package
+// comment. Splitting and scheduling mirror MatMulT — work is split across
+// W's rows when large enough — and, because block sums are exact integer
+// arithmetic and the float32 cross-block accumulation runs in a fixed
+// order per element, results are bit-identical for every split.
+//
+// The packing buffers come from scr, so a steady-state caller performs
+// zero allocations (the AllocsPerRun regression test pins this).
+func MatMulTQ(w *QuantMatrix, x *Matrix, out *Matrix, scr *Scratch) {
+	if x.Cols != w.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTQ inner dim mismatch %d vs %d", x.Cols, w.Cols))
+	}
+	if out.Rows != x.Rows || out.Cols != w.Rows {
+		panic("tensor: MatMulTQ out dims mismatch")
+	}
+	nb := w.blocksPerRow()
+	px := scr.Uint64s("quant.px", x.Cols/4)
+	xs := scr.Floats("quant.xs", nb)
+	xsum := scr.Int32s("quant.xsum", nb)
+	work := x.Rows * w.Rows * w.Cols
+	nw := 1
+	if work >= parallelThreshold && w.Rows > 1 {
+		nw = matmulWorkers()
+		if nw > w.Rows {
+			nw = w.Rows
+		}
+	}
+	for i := 0; i < x.Rows; i++ {
+		packVec(x.Row(i), w.Block, px, xs, xsum)
+		if nw == 1 {
+			matMulTQChunk(w, px, xs, xsum, out.Row(i), 0, w.Rows)
+			continue
+		}
+		parallelRows(w.Rows, nw, func(s, e int) {
+			matMulTQChunk(w, px, xs, xsum, out.Row(i), s, e)
+		})
+	}
+}
+
+// matMulTQChunk computes out[j] for j in [s, e): four quantized rows per
+// step, two packed groups (8 weights) per inner iteration, so the four
+// integer accumulator chains overlap in the pipeline the way
+// matMulTChunk's float chains do. Chunk boundaries cannot affect results:
+// each output element is an independent exact-integer-per-block
+// reduction with a fixed float32 cross-block order.
+func matMulTQChunk(w *QuantMatrix, px []uint64, xs []float32, xsum []int32, out []float32, s, e int) {
+	pcols := w.Cols / 4
+	nb := w.blocksPerRow()
+	j := s
+	for ; j+3 < e; j += 4 {
+		r0 := w.packed[j*pcols : (j+1)*pcols]
+		r1 := w.packed[(j+1)*pcols : (j+2)*pcols]
+		r2 := w.packed[(j+2)*pcols : (j+3)*pcols]
+		r3 := w.packed[(j+3)*pcols : (j+4)*pcols]
+		var s0, s1, s2, s3 float32
+		for b := 0; b < nb; b++ {
+			base, gpb, n := blockGroups(w, b)
+			xg := px[base : base+gpb : base+gpb]
+			w0 := r0[base : base+gpb : base+gpb]
+			w1 := r1[base : base+gpb : base+gpb]
+			w2 := r2[base : base+gpb : base+gpb]
+			w3 := r3[base : base+gpb : base+gpb]
+			var a0, a1, a2, a3 uint64
+			g := 0
+			for ; g+1 < gpb; g += 2 {
+				x0, x1 := xg[g], xg[g+1]
+				a0 += (w0[g]*x0)>>48 + (w0[g+1]*x1)>>48
+				a1 += (w1[g]*x0)>>48 + (w1[g+1]*x1)>>48
+				a2 += (w2[g]*x0)>>48 + (w2[g+1]*x1)>>48
+				a3 += (w3[g]*x0)>>48 + (w3[g+1]*x1)>>48
+			}
+			if g < gpb {
+				x0 := xg[g]
+				a0 += (w0[g] * x0) >> 48
+				a1 += (w1[g] * x0) >> 48
+				a2 += (w2[g] * x0) >> 48
+				a3 += (w3[g] * x0) >> 48
+			}
+			k := 64*int64(xsum[b]) - 4096*int64(n)
+			f := xs[b]
+			s0 += float32(int64(a0)-64*int64(w.sums[j*nb+b])-k) * w.scales[j*nb+b] * f
+			s1 += float32(int64(a1)-64*int64(w.sums[(j+1)*nb+b])-k) * w.scales[(j+1)*nb+b] * f
+			s2 += float32(int64(a2)-64*int64(w.sums[(j+2)*nb+b])-k) * w.scales[(j+2)*nb+b] * f
+			s3 += float32(int64(a3)-64*int64(w.sums[(j+3)*nb+b])-k) * w.scales[(j+3)*nb+b] * f
+		}
+		out[j], out[j+1], out[j+2], out[j+3] = s0, s1, s2, s3
+	}
+	for ; j < e; j++ {
+		r0 := w.packed[j*pcols : (j+1)*pcols]
+		var s0 float32
+		for b := 0; b < nb; b++ {
+			base, gpb, n := blockGroups(w, b)
+			xg := px[base : base+gpb : base+gpb]
+			w0 := r0[base : base+gpb : base+gpb]
+			var a0 uint64
+			for g := 0; g < gpb; g++ {
+				a0 += (w0[g] * xg[g]) >> 48
+			}
+			k := 64*int64(xsum[b]) - 4096*int64(n)
+			s0 += float32(int64(a0)-64*int64(w.sums[j*nb+b])-k) * w.scales[j*nb+b] * xs[b]
+		}
+		out[j] = s0
+	}
+}
+
+// blockGroups returns block b's first packed-word index, its packed-word
+// count, and its element count (short for the final block of a row).
+func blockGroups(w *QuantMatrix, b int) (base, gpb, n int) {
+	lo := b * w.Block
+	hi := lo + w.Block
+	if hi > w.Cols {
+		hi = w.Cols
+	}
+	return lo / 4, (hi - lo) / 4, hi - lo
+}
+
+// matmulWorkers is the worker bound for a large matmul's column split,
+// shared with MatMulT's policy.
+func matmulWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// parallelRows splits [0, rows) into nw contiguous chunks and runs f on
+// each from its own goroutine, waiting for all of them.
+func parallelRows(rows, nw int, f func(s, e int)) {
+	var wg sync.WaitGroup
+	chunk := (rows + nw - 1) / nw
+	for s := 0; s < rows; s += chunk {
+		e := s + chunk
+		if e > rows {
+			e = rows
+		}
+		wg.Add(1)
+		go func(s, e int) {
+			defer wg.Done()
+			f(s, e)
+		}(s, e)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,238 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+)
+
+// slowMatMulTQ recomputes MatMulTQ's quantized math the straightforward
+// way — scalar integer dot of the signed codes per block, float32
+// scale-and-accumulate across blocks in the same order — without SWAR
+// packing, offset encoding, or register blocking. Integer arithmetic is
+// exact and the float32 cross-block accumulation order matches the
+// kernel's, so the two must agree bit-for-bit, not just approximately:
+// this pins the packed kernel's correction-term algebra exactly.
+func slowMatMulTQ(w *QuantMatrix, x *Matrix, out *Matrix) {
+	nb := w.blocksPerRow()
+	for i := 0; i < x.Rows; i++ {
+		xr := x.Row(i)
+		// Re-derive the activation codes exactly as packVec does.
+		qx := make([]int32, w.Cols)
+		xs := make([]float32, nb)
+		for b := 0; b < nb; b++ {
+			lo := b * w.Block
+			hi := lo + w.Block
+			if hi > w.Cols {
+				hi = w.Cols
+			}
+			scale, inv := blockScale(xr[lo:hi])
+			xs[b] = scale
+			for k := lo; k < hi; k++ {
+				qx[k] = quantizeCode(xr[k], inv) - 64
+			}
+		}
+		for j := 0; j < w.Rows; j++ {
+			var s float32
+			for b := 0; b < nb; b++ {
+				lo := b * w.Block
+				hi := lo + w.Block
+				if hi > w.Cols {
+					hi = w.Cols
+				}
+				var acc int64
+				for k := lo; k < hi; k++ {
+					// Recover the signed weight code from the packed storage.
+					qw := int32(w.packed[j*(w.Cols/4)+k/4]>>(16*uint(k%4)))&0xffff - 64
+					acc += int64(qw) * int64(qx[k])
+				}
+				s += float32(acc) * w.scales[j*nb+b] * xs[b]
+			}
+			out.Set(i, j, s)
+		}
+	}
+}
+
+func randMat(rows, cols int, seed uint64) *Matrix {
+	m := NewMatrix(rows, cols)
+	rng := NewRNG(seed)
+	rng.FillNormal(m.Data, 0.3)
+	return m
+}
+
+// TestMatMulTQExactVsScalar: the SWAR kernel must reproduce the scalar
+// quantized math to the last bit across geometries that exercise every
+// structural edge — row tails (rows%4 != 0), a short final block
+// (cols%Block != 0), an odd group count in a block, and multi-row X.
+func TestMatMulTQExactVsScalar(t *testing.T) {
+	cases := []struct{ rows, cols, block, xRows int }{
+		{8, 64, 64, 1},
+		{7, 64, 64, 1},   // row tail
+		{9, 96, 64, 2},   // short final block (32 elems)
+		{5, 36, 16, 1},   // final block of 4 elems, one group (odd gpb)
+		{16, 128, 32, 3}, // multiple full blocks, multi-row X
+		{1, 12, 64, 1},   // single row, block larger than cols
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%dx%d_b%d_x%d", tc.rows, tc.cols, tc.block, tc.xRows), func(t *testing.T) {
+			w := randMat(tc.rows, tc.cols, 11)
+			q := Quantize(w, tc.block)
+			x := randMat(tc.xRows, tc.cols, 22)
+			got := NewMatrix(tc.xRows, tc.rows)
+			want := NewMatrix(tc.xRows, tc.rows)
+			MatMulTQ(q, x, got, NewScratch())
+			slowMatMulTQ(q, x, want)
+			for i := range got.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("element %d: kernel %v vs scalar %v (exact integer math diverged)",
+						i, got.Data[i], want.Data[i])
+				}
+			}
+		})
+	}
+}
+
+// TestMatMulTQChunkInvariance: output elements are independent
+// reductions, so any row split must give bit-identical results — the
+// property that makes the parallel column split deterministic.
+func TestMatMulTQChunkInvariance(t *testing.T) {
+	w := randMat(13, 128, 33)
+	q := Quantize(w, QuantBlock)
+	x := randMat(1, 128, 44)
+	scr := NewScratch()
+	full := NewMatrix(1, 13)
+	MatMulTQ(q, x, full, scr)
+
+	px := scr.Uint64s("quant.px", 32)
+	xs := scr.Floats("quant.xs", 2)
+	xsum := scr.Int32s("quant.xsum", 2)
+	packVec(x.Row(0), q.Block, px, xs, xsum)
+	chunked := NewMatrix(1, 13)
+	for _, split := range [][]int{{0, 13}, {0, 1, 13}, {0, 5, 6, 13}, {0, 2, 4, 8, 12, 13}} {
+		for i := 0; i+1 < len(split); i++ {
+			matMulTQChunk(q, px, xs, xsum, chunked.Row(0), split[i], split[i+1])
+		}
+		for i := range full.Data {
+			if chunked.Data[i] != full.Data[i] {
+				t.Fatalf("split %v element %d: %v vs %v", split, i, chunked.Data[i], full.Data[i])
+			}
+		}
+	}
+}
+
+// TestQuantizeRoundTripError: dequantized weights sit within half a
+// quantization step of the originals (|w - scale*q| <= scale/2 for
+// unclamped codes; symmetric 7-bit never clamps, since |q| <=
+// round(maxAbs/scale) = 63).
+func TestQuantizeRoundTripError(t *testing.T) {
+	w := randMat(32, 256, 55)
+	q := Quantize(w, QuantBlock)
+	d := q.Dequantize()
+	nb := q.blocksPerRow()
+	for j := 0; j < w.Rows; j++ {
+		for i := 0; i < w.Cols; i++ {
+			step := float64(q.scales[j*nb+i/q.Block])
+			diff := float64(w.At(j, i)) - float64(d.At(j, i))
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > step/2+1e-7 {
+				t.Fatalf("(%d,%d): |%v - %v| = %v exceeds half-step %v",
+					j, i, w.At(j, i), d.At(j, i), diff, step/2)
+			}
+		}
+	}
+}
+
+// TestMatMulTQApproximatesFloat: end-to-end quantization error against
+// the float matmul stays within the tolerance DESIGN.md §12 documents
+// (7-bit weights AND activations: a few percent relative on typical
+// normal-distributed operands).
+func TestMatMulTQApproximatesFloat(t *testing.T) {
+	w := randMat(128, 256, 66)
+	q := Quantize(w, QuantBlock)
+	x := randMat(2, 256, 77)
+	qOut := NewMatrix(2, 128)
+	fOut := NewMatrix(2, 128)
+	MatMulTQ(q, x, qOut, NewScratch())
+	MatMulT(w, x, fOut)
+	// Scale reference: RMS of the float output, so the absolute floor
+	// tracks the operands' magnitude instead of hardcoding one.
+	var ss float64
+	for _, v := range fOut.Data {
+		ss += float64(v) * float64(v)
+	}
+	rms := ss / float64(len(fOut.Data))
+	absTol := 0.1 * sqrt(rms)
+	for i := range qOut.Data {
+		if !ApproxEqRel(float64(qOut.Data[i]), float64(fOut.Data[i]), 0.1, absTol) {
+			t.Fatalf("element %d: quant %v vs float %v beyond 10%% / %v",
+				i, qOut.Data[i], fOut.Data[i], absTol)
+		}
+	}
+}
+
+func sqrt(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	x := v
+	for i := 0; i < 40; i++ {
+		x = (x + v/x) / 2
+	}
+	return x
+}
+
+// TestMatMulTQZeroAlloc is the steady-state allocation regression for
+// the quantized hot loop: after one warm-up call populates the packing
+// scratch, repeated MatMulTQ calls through the same arena allocate
+// nothing. Dimensions stay under the parallel threshold so the kernel
+// runs serially on every machine (the goroutine split is measured by
+// the perf suite, not this test).
+func TestMatMulTQZeroAlloc(t *testing.T) {
+	w := randMat(128, 256, 88)
+	q := Quantize(w, QuantBlock)
+	x := randMat(1, 256, 99)
+	out := NewMatrix(1, 128)
+	scr := NewScratch()
+	MatMulTQ(q, x, out, scr) // warm up the arena
+	allocs := testing.AllocsPerRun(50, func() {
+		MatMulTQ(q, x, out, scr)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state MatMulTQ allocates %v per call; want 0", allocs)
+	}
+}
+
+// TestQuantMatrixBytes: the quantized payload including metadata is
+// about half the float footprint (2 bytes/weight + 8 bytes per block).
+func TestQuantMatrixBytes(t *testing.T) {
+	w := randMat(64, 256, 13)
+	q := Quantize(w, QuantBlock)
+	floatBytes := 64 * 256 * 4
+	want := 64*256*2 + 64*(256/QuantBlock)*8
+	if q.Bytes() != want {
+		t.Fatalf("Bytes() = %d, want %d", q.Bytes(), want)
+	}
+	if q.Bytes()*2 > floatBytes+floatBytes/8 {
+		t.Fatalf("quantized %d bytes is not ~half of float %d", q.Bytes(), floatBytes)
+	}
+}
+
+// TestQuantizeValidation: the packing width and block-size contracts
+// fail fast with descriptive panics.
+func TestQuantizeValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"cols-not-mult-4": func() { Quantize(NewMatrix(2, 6), QuantBlock) },
+		"block-not-mult4": func() { Quantize(NewMatrix(2, 8), 6) },
+		"block-zero":      func() { Quantize(NewMatrix(2, 8), 0) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}

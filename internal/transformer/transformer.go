@@ -114,6 +114,11 @@ type Model struct {
 	finalNormBias []float32      // ArchOPT only
 	lmHead        *tensor.Matrix // (vocab x hidden)
 	ropeTheta     float64
+
+	// quant is the lazily-built block-quantized view of the projection
+	// weights, shared read-only by all Quantized() sessions (quantized.go).
+	quantOnce sync.Once
+	quant     *quantWeights
 }
 
 var _ model.Model = (*Model)(nil)
@@ -219,10 +224,11 @@ func (m *Model) NewSession() model.Session {
 // last tree-parallel decode, kept so Accept can commit verified rows
 // without recomputation.
 type Session struct {
-	m    *Model
-	scr  *tensor.Scratch   // reusable forward-pass buffers (batched path)
-	rope *tensor.RopeTable // cached rotation coefficients (batched path)
-	ref  bool              // use the scalar reference path (see reference.go)
+	m     *Model
+	scr   *tensor.Scratch   // reusable forward-pass buffers (batched path)
+	rope  *tensor.RopeTable // cached rotation coefficients (batched path)
+	ref   bool              // use the scalar reference path (see reference.go)
+	quant *quantWeights     // non-nil: projection matmuls run quantized (quantized.go)
 
 	// Exactly one cache backend is active. cache is the paged head-major
 	// arena (default sessions); cacheK/cacheV is the legacy slice layout
@@ -254,7 +260,22 @@ var _ model.Session = (*Session)(nil)
 // Len implements model.Session.
 func (s *Session) Len() int { return s.n }
 
-// Prefill implements model.Session.
+// prefillChunk bounds the token-batch size of one prefill forward pass.
+// A monolithic long prefill sizes every Scratch matrix by the full
+// prompt length, pushing the working set (activations, scores, K/V
+// staging) out of cache exactly when the matmuls want it resident;
+// committing in bounded chunks keeps the arena cache-sized at any
+// context length. Chunking cannot change results: tokens of earlier
+// chunks move from the in-pass causal segment to the committed-cache
+// segment of later tokens' attention, and both segments compute each
+// score as the identical dot-then-scale on the identical operands (the
+// same argument — and the same golden tests — that make PrefillShared
+// bit-identical to a cold prefill).
+const prefillChunk = 128
+
+// Prefill implements model.Session. Non-reference sessions process the
+// prompt in prefillChunk-token batches (see above); the scalar reference
+// path keeps the single monolithic pass it has always been.
 func (s *Session) Prefill(prompt []model.Token) []float32 {
 	if s.n != 0 {
 		panic("transformer: Prefill on non-empty session")
@@ -262,16 +283,46 @@ func (s *Session) Prefill(prompt []model.Token) []float32 {
 	if len(prompt) == 0 {
 		panic("transformer: empty prompt")
 	}
-	positions := make([]int, len(prompt))
-	for i := range positions {
-		positions[i] = i
+	if s.ref {
+		positions := make([]int, len(prompt))
+		for i := range positions {
+			positions[i] = i
+		}
+		dists, k, v := s.forward(prompt, positions, nil, true)
+		s.commitRows(k, v)
+		s.n = len(prompt)
+		s.invalidateTree()
+		s.lastDist = dists[len(dists)-1]
+		return cloneVec(s.lastDist)
 	}
-	dists, k, v := s.forward(prompt, positions, nil, true)
-	s.commitRows(k, v)
-	s.n = len(prompt)
+	s.lastDist = s.prefillChunked(prompt, 0)
 	s.invalidateTree()
-	s.lastDist = dists[len(dists)-1]
 	return cloneVec(s.lastDist)
+}
+
+// prefillChunked runs tokens through the forward pass in prefillChunk
+// batches starting at absolute position firstPos, committing each chunk
+// before the next so later chunks attend the earlier ones through the KV
+// cache. Returns the last token's distribution (a forward-pass-owned
+// fresh slice).
+func (s *Session) prefillChunked(tokens []model.Token, firstPos int) []float32 {
+	var last []float32
+	for off := 0; off < len(tokens); off += prefillChunk {
+		end := off + prefillChunk
+		if end > len(tokens) {
+			end = len(tokens)
+		}
+		chunk := tokens[off:end]
+		positions := make([]int, len(chunk))
+		for i := range positions {
+			positions[i] = firstPos + off + i
+		}
+		dists, k, v := s.forward(chunk, positions, nil, true)
+		s.commitRows(k, v)
+		s.n += len(chunk)
+		last = dists[len(dists)-1]
+	}
+	return last
 }
 
 // Arena exposes the session's paged KV arena for cross-request prefix
@@ -313,16 +364,8 @@ func (s *Session) PrefillShared(h *kvcache.PinnedPrefix, prompt []model.Token) [
 	}
 	s.cache.AdoptPrefix(h)
 	s.n = p
-	suffix := prompt[p:]
-	positions := make([]int, len(suffix))
-	for i := range positions {
-		positions[i] = p + i
-	}
-	dists, k, v := s.forward(suffix, positions, nil, true)
-	s.commitRows(k, v)
-	s.n = len(prompt)
+	s.lastDist = s.prefillChunked(prompt[p:], p)
 	s.invalidateTree()
-	s.lastDist = dists[len(dists)-1]
 	return cloneVec(s.lastDist)
 }
 
@@ -520,6 +563,19 @@ func (s *Session) CacheBytes() int {
 	return rows * s.m.cfg.Hidden * 4
 }
 
+// mm runs one projection matmul on the session's active weight
+// representation: the float register-blocked kernel by default, the
+// quantized SWAR kernel (with w's block-quantized twin qw) for
+// Quantized() sessions. The quantized kernel's packing scratch lives in
+// the session arena, so steady-state decode stays alloc-free either way.
+func (s *Session) mm(w *tensor.Matrix, qw *tensor.QuantMatrix, x, out *tensor.Matrix) {
+	if qw != nil {
+		tensor.MatMulTQ(qw, x, out, s.scr)
+		return
+	}
+	tensor.MatMulT(w, x, out)
+}
+
 // forward runs the transformer over a batch of new tokens at the given
 // absolute positions. mask(i, j) reports whether new token i may attend
 // new token j; nil means ordinary causality among the new tokens (j <= i).
@@ -605,6 +661,12 @@ func (s *Session) forwardBatched(tokens []model.Token, positions []int, mask fun
 
 	for l := 0; l < cfg.Layers; l++ {
 		lw := &s.m.layers[l]
+		var qwq, qwk, qwv, qwo, qwGate, qwUp, qwDown *tensor.QuantMatrix
+		if s.quant != nil {
+			ql := &s.quant.layers[l]
+			qwq, qwk, qwv, qwo = ql.wq, ql.wk, ql.wv, ql.wo
+			qwGate, qwUp, qwDown = ql.wGate, ql.wUp, ql.wDown
+		}
 		nCached := 0
 		if attendCache {
 			nCached = s.n
@@ -622,9 +684,9 @@ func (s *Session) forwardBatched(tokens []model.Token, positions []int, mask fun
 		for i := 0; i < nNew; i++ {
 			s.m.norm(x.Row(i), lw.attnNorm, lw.attnNormBias, h1.Row(i))
 		}
-		tensor.MatMulT(lw.wq, h1, q)
-		tensor.MatMulT(lw.wk, h1, kMat)
-		tensor.MatMulT(lw.wv, h1, vMat)
+		s.mm(lw.wq, qwq, h1, q)
+		s.mm(lw.wk, qwk, h1, kMat)
+		s.mm(lw.wv, qwv, h1, vMat)
 		if cfg.Arch == ArchLLaMA {
 			for i := 0; i < nNew; i++ {
 				qi, ki := q.Row(i), kRows[i]
@@ -722,7 +784,7 @@ func (s *Session) forwardBatched(tokens []model.Token, positions []int, mask fun
 			}
 		}
 		s.runAttention(attend, nNew, nCached, hd)
-		tensor.MatMulT(lw.wo, attnOut, proj)
+		s.mm(lw.wo, qwo, attnOut, proj)
 		for i := 0; i < nNew; i++ {
 			tensor.Add(x.Row(i), proj.Row(i))
 		}
@@ -733,18 +795,18 @@ func (s *Session) forwardBatched(tokens []model.Token, positions []int, mask fun
 		}
 		if cfg.Arch == ArchOPT {
 			// Two-projection ReLU MLP.
-			tensor.MatMulT(lw.wUp, h1, up)
+			s.mm(lw.wUp, qwUp, h1, up)
 			tensor.ReLU(up.Data)
-			tensor.MatMulT(lw.wDown, up, proj)
+			s.mm(lw.wDown, qwDown, up, proj)
 		} else {
 			// SwiGLU MLP.
-			tensor.MatMulT(lw.wGate, h1, gate)
-			tensor.MatMulT(lw.wUp, h1, up)
+			s.mm(lw.wGate, qwGate, h1, gate)
+			s.mm(lw.wUp, qwUp, h1, up)
 			tensor.SiLU(gate.Data)
 			for d := range gate.Data {
 				gate.Data[d] *= up.Data[d]
 			}
-			tensor.MatMulT(lw.wDown, gate, proj)
+			s.mm(lw.wDown, qwDown, gate, proj)
 		}
 		for i := 0; i < nNew; i++ {
 			tensor.Add(x.Row(i), proj.Row(i))
@@ -758,7 +820,11 @@ func (s *Session) forwardBatched(tokens []model.Token, positions []int, mask fun
 		s.m.norm(x.Row(i), s.m.finalNorm, s.m.finalNormBias, h1.Row(i))
 	}
 	logits := scr.Mat("logits", nNew, cfg.Vocab)
-	tensor.MatMulT(s.m.lmHead, h1, logits)
+	var qlm *tensor.QuantMatrix
+	if s.quant != nil {
+		qlm = s.quant.lmHead
+	}
+	s.mm(s.m.lmHead, qlm, h1, logits)
 	tensor.SoftmaxRows(logits)
 	dists = make([][]float32, nNew)
 	for i := range dists {

@@ -4,6 +4,10 @@
 # require a clean (exit 0) graceful drain. CI runs this after the unit
 # gate; `make servesmoke` runs it locally.
 #
+# SPECINFERD_VARIANT selects an LLM execution variant (e.g. quantized);
+# it is passed through as -variant, so CI boots the daemon once on the
+# default n-gram substrate and once on the quantized transformer path.
+#
 # Any failure (including ones surfaced by set -e mid-pipeline) lands in
 # the EXIT trap, which kills a still-running daemon so a broken run can
 # never leave an orphaned specinferd holding the port.
@@ -11,6 +15,7 @@ set -euo pipefail
 
 ADDR="${SPECINFERD_ADDR:-127.0.0.1:18080}"
 BIN="${SPECINFERD_BIN:-./specinferd.smoke}"
+VARIANT="${SPECINFERD_VARIANT:-}"
 PID=""
 
 cleanup() {
@@ -24,7 +29,7 @@ trap cleanup EXIT
 
 go build -o "$BIN" ./cmd/specinferd
 
-"$BIN" -addr "$ADDR" -batch 2 -queue 8 &
+"$BIN" -addr "$ADDR" -batch 2 -queue 8 ${VARIANT:+-variant "$VARIANT"} &
 PID=$!
 
 # Wait (up to ~10s) for the daemon to come up.
