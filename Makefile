@@ -45,10 +45,11 @@ serve:
 servesmoke:
 	./scripts/servesmoke.sh
 
-# Full measurement run with a pinned benchtime; writes BENCH_PR7.json
+# Full measurement run with a pinned benchtime; writes BENCH_PR8.json
 # (benchmark -> ns/op, ns/token, allocs/op, plus paged-vs-slice,
 # paged-vs-reference, batched-vs-reference, prefix-cache warm-vs-cold,
-# and quantized-vs-float speedups, with host provenance) at the repo
-# root. Compare two reports with `go run ./cmd/benchdiff`.
+# quantized-vs-float, and router affinity-vs-blind speedups, with host
+# provenance) at the repo root. Compare two reports with
+# `go run ./cmd/benchdiff`.
 bench:
-	$(GO) run ./cmd/perfbench -benchtime 1s -o BENCH_PR7.json
+	$(GO) run ./cmd/perfbench -benchtime 1s -o BENCH_PR8.json

@@ -4,13 +4,19 @@
 //
 //	benchdiff old.json new.json                  # report only
 //	benchdiff -max-regress 1.25 old.json new.json  # exit 1 on >25% regressions
+//	benchdiff -max-regress 1.25 -enforce engine/prefix/shared512x16/warm old.json new.json
 //
 // For every benchmark present in both reports it prints old and new
 // ns/op and the ratio new/old (>1 means the new report is slower).
 // With -max-regress R, any scenario whose ratio exceeds R makes the
 // command exit nonzero — the knob CI uses to turn a committed baseline
-// into an advisory perf gate. Benchmarks present in only one report are
-// listed but never fail the run (suites grow across PRs).
+// into an advisory perf gate. With -enforce (comma-separated scenario
+// names), only the listed scenarios can fail the run; everything else
+// is still reported, with over-threshold ratios marked advisory — the
+// graduation path for scenarios new in the current PR, which become
+// enforcing once a pinned-box baseline lands. Benchmarks present in
+// only one report are listed but never fail the run (suites grow
+// across PRs).
 //
 // Ratios are only meaningful when both reports come from the same kind
 // of host; benchdiff prints a warning when the recorded provenance (CPU
@@ -23,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 // report mirrors the subset of cmd/perfbench's Report that benchdiff
@@ -57,10 +64,18 @@ func load(path string) (report, error) {
 func main() {
 	maxRegress := flag.Float64("max-regress", 0,
 		"fail (exit 1) if any scenario's time ratio new/old exceeds this; 0 disables")
+	enforce := flag.String("enforce", "",
+		"comma-separated scenario names that -max-regress may fail on; empty enforces every scenario")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress R] old.json new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress R] [-enforce a,b,...] old.json new.json")
 		os.Exit(2)
+	}
+	enforced := map[string]bool{}
+	for _, name := range strings.Split(*enforce, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			enforced[name] = true
+		}
 	}
 	oldRep, err := load(flag.Arg(0))
 	if err != nil {
@@ -102,8 +117,12 @@ func main() {
 		}
 		marker := ""
 		if *maxRegress > 0 && ratio > *maxRegress {
-			marker = "  << regression"
-			regressions = append(regressions, name)
+			if len(enforced) > 0 && !enforced[name] {
+				marker = "  << regression (advisory)"
+			} else {
+				marker = "  << regression"
+				regressions = append(regressions, name)
+			}
 		}
 		fmt.Printf("%-44s %14.0f %14.0f %7.2fx%s\n", name, o.NsPerOp, n.NsPerOp, ratio, marker)
 	}

@@ -167,6 +167,9 @@ func main() {
 		case strings.HasSuffix(pb.Name, "/quant"):
 			base := strings.TrimSuffix(pb.Name, "/quant")
 			pairs = append(pairs, pairing{base, base + "/float"})
+		case strings.HasSuffix(pb.Name, "/affinity"):
+			base := strings.TrimSuffix(pb.Name, "/affinity")
+			pairs = append(pairs, pairing{base, base + "/blind"})
 		default:
 			continue
 		}

@@ -6,6 +6,8 @@
 //	specinferd -addr :8080                     # tree speculation, Alpaca
 //	specinferd -mode incremental -batch 8
 //	specinferd -queue 128 -drain-timeout 30s
+//	specinferd -replicas 4 -prefix-cache-mb 64 # sharded fleet with
+//	                                           # prefix-affinity routing
 //
 // Endpoints:
 //
@@ -31,6 +33,7 @@ import (
 	"specinfer/internal/bench"
 	"specinfer/internal/core"
 	"specinfer/internal/model"
+	"specinfer/internal/router"
 	"specinfer/internal/sampling"
 	"specinfer/internal/server"
 	"specinfer/internal/speculator"
@@ -60,6 +63,8 @@ func main() {
 		drain      = flag.Duration("drain-timeout", 30*time.Second, "bound on graceful drain; 0 waits for all in-flight requests")
 		maxNew     = flag.Int("max-new-tokens", 256, "per-request generation budget cap accepted over HTTP")
 		prefixMB   = flag.Int64("prefix-cache-mb", 0, "cross-request prefix KV cache budget in MiB, 0 disables (effective on paged-KV models; n-gram models fall back to cold prefill)")
+		replicas   = flag.Int("replicas", 1, "engine replicas behind prefix-affinity routing; 1 serves a single engine with no router")
+		policy     = flag.String("route-policy", "prefix-affinity", "fleet placement policy: prefix-affinity|round-robin (with -replicas > 1)")
 	)
 	flag.Parse()
 
@@ -144,16 +149,45 @@ func main() {
 		os.Exit(2)
 	}
 
-	eng, err := core.NewEngine(cfg)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if *replicas < 1 {
+		fmt.Fprintf(os.Stderr, "-replicas must be at least 1, got %d\n", *replicas)
+		os.Exit(2)
 	}
-	srv, err := server.New(server.Config{
-		Engine:       eng,
-		Tokenizer:    tok,
-		MaxNewTokens: *maxNew,
-	})
+	srvCfg := server.Config{Tokenizer: tok, MaxNewTokens: *maxNew}
+	if *replicas == 1 {
+		eng, err := core.NewEngine(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		srvCfg.Engine = eng
+	} else {
+		// Each replica is an independent engine over the same (read-only)
+		// models: its own scheduler, admission queue, and prefix KV
+		// cache. The router keeps same-prefix traffic on the replica
+		// whose cache is warm for it.
+		pol, err := router.ParsePolicy(*policy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		engs := make([]*core.Engine, *replicas)
+		for i := range engs {
+			eng, err := core.NewEngine(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			engs[i] = eng
+		}
+		rt, err := router.New(router.Config{Replicas: engs, Policy: pol})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		srvCfg.Router = rt
+	}
+	srv, err := server.New(srvCfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -162,8 +196,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fmt.Printf("specinferd — %s on %s, batch %d, queue %d, %s decoding\n",
-		cfg.Mode, ds.Name, *batch, *queue, cfg.Sample.Mode)
+	fleetNote := ""
+	if *replicas > 1 {
+		fleetNote = fmt.Sprintf(", %d replicas (%s routing)", *replicas, *policy)
+	}
+	fmt.Printf("specinferd — %s on %s, batch %d, queue %d, %s decoding%s\n",
+		cfg.Mode, ds.Name, *batch, *queue, cfg.Sample.Mode, fleetNote)
 	variantNote := ""
 	if *variant != "" {
 		variantNote = " [" + *variant + "]"

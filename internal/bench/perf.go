@@ -14,12 +14,15 @@ package bench
 // file, so bench_test.go and cmd/perfbench share them.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"specinfer/internal/core"
 	"specinfer/internal/model"
+	"specinfer/internal/router"
 	"specinfer/internal/sampling"
 	"specinfer/internal/tensor"
 	"specinfer/internal/transformer"
@@ -346,6 +349,112 @@ func prefixBench(batch, prefixLen int, warm bool) func(*testing.B) {
 	}
 }
 
+// RouterTraceConfig parameterizes one fleet run over a shared-prefix
+// trace: the PR 8 router scenario and its measured-vs-sim cross-check
+// share it.
+type RouterTraceConfig struct {
+	Replicas  int
+	Groups    int
+	Requests  int
+	PrefixLen int
+	SuffixLen int
+	MaxNew    int
+	Policy    router.Policy
+}
+
+// routerTraceRequests builds the grouped shared-prefix trace for a
+// fleet run. Alpaca's vocabulary (192) fits inside the perf models'
+// (256), so the Markov trace drives the transformer substrate directly.
+func routerTraceRequests(cfg RouterTraceConfig) []workload.Request {
+	m := workload.NewMarkov(workload.DatasetByName("Alpaca"))
+	rng := tensor.NewRNG(7070)
+	return m.GroupedSharedPrefixTrace(rng, cfg.Requests, cfg.Groups,
+		cfg.PrefixLen, cfg.SuffixLen, cfg.MaxNew, 1)
+}
+
+// RunRouterTrace serves one shared-prefix trace through a fresh
+// Replicas-wide fleet under the given placement policy and blocks until
+// every request completes: engines are built per call (per-replica
+// prefix caches start cold, so all sharing happens inside the measured
+// trace), the fleet is started, the requests are submitted in trace
+// order, and the fleet is drained. fail reports a fatal condition
+// (b.Fatal / t.Fatal).
+func RunRouterTrace(cfg RouterTraceConfig, reqs []workload.Request, fail func(...any)) {
+	llm, ssm := perfModels()
+	engs := make([]*core.Engine, cfg.Replicas)
+	for i := range engs {
+		eng, err := core.NewEngine(core.Config{
+			Mode: core.TreeSpec, LLM: llm, SSMs: []model.Model{ssm},
+			Sample: sampling.GreedyConfig(), Seed: 17,
+			MaxBatch: 8, QueueDepth: len(reqs),
+			PrefixCacheBytes: 256 << 20,
+		})
+		if err != nil {
+			fail(err)
+			return
+		}
+		engs[i] = eng
+	}
+	rt, err := router.New(router.Config{Replicas: engs, Policy: cfg.Policy})
+	if err != nil {
+		fail(err)
+		return
+	}
+	//lint:ignore ctxflow benchmark driver owns the fleet lifecycle; the root context is its drain switch
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- rt.Run(ctx) }()
+	for spins := 0; rt.FleetStats().Live < cfg.Replicas; spins++ {
+		if spins > 50000 {
+			fail("fleet never came up")
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	results := make([]<-chan core.Result, 0, len(reqs))
+	for _, req := range reqs {
+		_, res, err := rt.Submit(ctx, req)
+		if err != nil {
+			fail(err)
+			return
+		}
+		results = append(results, res)
+	}
+	for _, res := range results {
+		if out := <-res; out.Err != nil {
+			fail(out.Err)
+			return
+		}
+	}
+	cancel()
+	if err := <-done; err != nil {
+		fail(err)
+	}
+}
+
+// routerBench measures fleet serving under shared-prefix traffic — the
+// PR 8 tentpole scenario. Each op builds a fresh 4-replica fleet (cold
+// per-replica prefix caches) and serves the full grouped trace through
+// it. Under prefix-affinity routing a group's requests all land on one
+// replica, so each group pays one cold prefill and the rest adopt the
+// warm prefix pages; hash-blind round-robin spreads every group across
+// all replicas, so nearly every request prefills cold. MaxNew 1 makes
+// the op TTFT-shaped (prefill-dominated); MaxNew 16 makes it aggregate
+// throughput. The affinity/blind ratio on the ttft pair is the
+// acceptance gate (>= 1.5x).
+func routerBench(cfg RouterTraceConfig) func(*testing.B) {
+	return func(b *testing.B) {
+		reqs := routerTraceRequests(cfg)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			RunRouterTrace(cfg, reqs, b.Fatal)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(reqs)), "ns/token")
+	}
+}
+
 // PerfSuite returns the full microbenchmark suite: batched vs reference
 // forward passes (prefill, decode, tree verification at widths 1–5), the
 // long-context cache-layout sweep (committed context 128/512/1024 on the
@@ -399,6 +508,29 @@ func PerfSuite() []PerfBenchmark {
 	// cache on vs off (acceptance gate: warm >= 3x cold).
 	add("engine/prefix/shared512x16/warm", 16, prefixBench(16, 512, true))
 	add("engine/prefix/shared512x16/cold", 16, prefixBench(16, 512, false))
+	// PR 8 tentpole scenario: 4-replica fleet under grouped shared-prefix
+	// traffic, prefix-affinity vs hash-blind round-robin placement
+	// (acceptance gate: affinity >= 1.5x on the ttft pair). The group
+	// count is coprime with the replica count: with trace-order
+	// round-robin submission, a group count divisible by the replica
+	// count would accidentally pin each group to one replica and hide
+	// the policies' difference (see TestPredictShardingCounts).
+	for _, s := range []struct {
+		name   string
+		cfg    RouterTraceConfig
+		tokens float64
+	}{
+		{"router/shared-prefix/r4/ttft/affinity",
+			RouterTraceConfig{Replicas: 4, Groups: 7, Requests: 28, PrefixLen: 384, SuffixLen: 16, MaxNew: 1, Policy: router.PrefixAffinity}, 28},
+		{"router/shared-prefix/r4/ttft/blind",
+			RouterTraceConfig{Replicas: 4, Groups: 7, Requests: 28, PrefixLen: 384, SuffixLen: 16, MaxNew: 1, Policy: router.RoundRobin}, 28},
+		{"router/shared-prefix/r4/tput/affinity",
+			RouterTraceConfig{Replicas: 4, Groups: 7, Requests: 28, PrefixLen: 384, SuffixLen: 16, MaxNew: 16, Policy: router.PrefixAffinity}, 448},
+		{"router/shared-prefix/r4/tput/blind",
+			RouterTraceConfig{Replicas: 4, Groups: 7, Requests: 28, PrefixLen: 384, SuffixLen: 16, MaxNew: 16, Policy: router.RoundRobin}, 448},
+	} {
+		add(s.name, s.tokens, routerBench(s.cfg))
+	}
 	return out
 }
 

@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"specinfer/internal/cluster"
+	"specinfer/internal/model"
+	"specinfer/internal/router"
+)
+
+// TestRouterMeasuredVsSimOrdering retires the cluster sim's who-wins
+// prediction for sharded serving into a measured cross-check: the sim
+// (cluster.PredictSharding) and the live 4-replica router must agree on
+// the ordering — prefix-affinity placement beats hash-blind round-robin
+// on shared-prefix TTFT traffic. The sim prices LLaMA-7B prefills on
+// modeled hardware while the measurement runs the small perf
+// transformer on the host CPU, so absolute times are incomparable by
+// construction; the placement-driven cold/warm prefill mix they induce
+// is the same, and that is what the ordering tests.
+func TestRouterMeasuredVsSimOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet trace replay is slow")
+	}
+	cfg := RouterTraceConfig{
+		Replicas: 4, Groups: 7, Requests: 28,
+		PrefixLen: 384, SuffixLen: 16, MaxNew: 1,
+	}
+
+	// Sim side: same trace geometry, idealized placement.
+	tr := cluster.ShardedTrace{
+		Replicas: cfg.Replicas, Groups: cfg.Groups, Requests: cfg.Requests,
+		PrefixLen: cfg.PrefixLen, SuffixLen: cfg.SuffixLen,
+	}
+	dep := cluster.Deployment{LLM: model.LLaMA7B, SSM: model.LLaMA68M}
+	simAff := cluster.PredictSharding(dep, tr, true)
+	simBlind := cluster.PredictSharding(dep, tr, false)
+	if simAff.MeanTTFT >= simBlind.MeanTTFT {
+		t.Fatalf("sim: affinity mean TTFT %.4g !< blind %.4g",
+			simAff.MeanTTFT, simBlind.MeanTTFT)
+	}
+
+	// Measured side: serve the identical trace through live fleets
+	// under both policies and time the full prefill-dominated replay.
+	reqs := routerTraceRequests(cfg)
+	run := func(p router.Policy) time.Duration {
+		c := cfg
+		c.Policy = p
+		start := time.Now()
+		RunRouterTrace(c, reqs, func(args ...any) { t.Fatal(args...) })
+		return time.Since(start)
+	}
+	// Warm up once (first transformer use pays one-time setup), then
+	// measure.
+	run(router.PrefixAffinity)
+	measAff := run(router.PrefixAffinity)
+	measBlind := run(router.RoundRobin)
+
+	if measAff >= measBlind {
+		t.Fatalf("measured ordering disagrees with sim: affinity %v !< blind %v "+
+			"(sim predicted %.4gs vs %.4gs mean TTFT)",
+			measAff, measBlind, simAff.MeanTTFT, simBlind.MeanTTFT)
+	}
+	simRatio := simBlind.MeanTTFT / simAff.MeanTTFT
+	measRatio := float64(measBlind) / float64(measAff)
+	t.Logf("affinity vs blind: sim %.2fx (cold prefills %d vs %d), measured %.2fx (%v vs %v)",
+		simRatio, simAff.ColdPrefills, simBlind.ColdPrefills, measRatio, measAff, measBlind)
+}

@@ -248,6 +248,97 @@ func iterationTime(dep Deployment, it core.IterationRecord, rep *Report) float64
 	return ssmTime + llmTime + dep.SchedulerOverhead
 }
 
+// ShardedTrace describes a shared-prefix trace placed across engine
+// replicas: Requests requests in Groups equal-size groups (request i
+// belongs to group i mod Groups, matching the deterministic assignment
+// of workload.GroupedSharedPrefixTrace at mix=1), each prompt opening
+// with a PrefixLen-token group prefix and diverging into a
+// SuffixLen-token continuation.
+type ShardedTrace struct {
+	Replicas  int
+	Groups    int
+	Requests  int
+	PrefixLen int
+	SuffixLen int
+}
+
+// ShardingPrediction is the sim's verdict on one placement policy.
+type ShardingPrediction struct {
+	// ColdPrefills counts (group, replica) first encounters — prompts
+	// prefilled in full; WarmPrefills counts requests that found their
+	// group's prefix KV already resident on their replica and computed
+	// only the suffix.
+	ColdPrefills, WarmPrefills int
+	// MeanTTFT is the mean prefill service time per request (seconds),
+	// the time-to-first-token component placement controls.
+	MeanTTFT float64
+	// TotalSeconds is the prefill makespan: the busiest replica's
+	// summed prefill work, the throughput bound of the admission phase.
+	TotalSeconds float64
+}
+
+// PredictSharding replays a shared-prefix trace's placement under
+// prefix-affinity routing (affinity=true: a group's requests all land
+// on replica group mod Replicas — the idealized consistent-hash
+// assignment) or hash-blind round-robin (request i lands on replica i
+// mod Replicas), and prices each request's prefill on the deployment:
+// the first time a (group, replica) pair meets, the replica prefills
+// the full prompt cold; afterwards its prefix cache serves the shared
+// pages and only the suffix is computed. This is the cluster-sim side
+// of the router's who-wins question; the measured cross-check in
+// internal/bench asserts the live router reproduces the predicted
+// ordering.
+func PredictSharding(dep Deployment, tr ShardedTrace, affinity bool) ShardingPrediction {
+	if tr.Replicas < 1 || tr.Groups < 1 || tr.Requests < 0 || tr.PrefixLen < 0 || tr.SuffixLen < 1 {
+		panic("cluster: bad ShardedTrace parameters")
+	}
+	dep = dep.withDefaults()
+	price := func(positions, ctx int) float64 {
+		params := gpu.StepParams{Batch: 1, Positions: positions, AttnKernels: 1, CtxLen: ctx}
+		switch {
+		case dep.Pricer != nil:
+			return dep.Pricer.StepTime(params)
+		case dep.Offload:
+			return gpu.OffloadStep(dep.LLM, dep.Device, dep.Host, params)
+		default:
+			return gpu.LLMStep(dep.LLM, dep.Plan, dep.Device, params)
+		}
+	}
+	full := tr.PrefixLen + tr.SuffixLen
+	coldT := price(full, full) + dep.SchedulerOverhead
+	warmT := price(tr.SuffixLen, full) + dep.SchedulerOverhead
+	seen := make(map[[2]int]bool, tr.Groups*tr.Replicas)
+	perReplica := make([]float64, tr.Replicas)
+	var pred ShardingPrediction
+	var sum float64
+	for i := 0; i < tr.Requests; i++ {
+		g := i % tr.Groups
+		rep := i % tr.Replicas // hash-blind round-robin
+		if affinity {
+			rep = g % tr.Replicas
+		}
+		t := warmT
+		if !seen[[2]int{g, rep}] {
+			seen[[2]int{g, rep}] = true
+			pred.ColdPrefills++
+			t = coldT
+		} else {
+			pred.WarmPrefills++
+		}
+		perReplica[rep] += t
+		sum += t
+	}
+	if tr.Requests > 0 {
+		pred.MeanTTFT = sum / float64(tr.Requests)
+	}
+	for _, s := range perReplica {
+		if s > pred.TotalSeconds {
+			pred.TotalSeconds = s
+		}
+	}
+	return pred
+}
+
 // Baseline identifies one of the third-party serving systems of Figure 7.
 // All of them execute incremental decoding with the same parallelization
 // and kernel libraries; the paper observes their latency is on par with

@@ -239,3 +239,56 @@ func TestEnergyAccounting(t *testing.T) {
 	t.Logf("energy per token: incremental %.3gJ, tree-spec %.3gJ (%.2fx)",
 		inc.EnergyPerToken, spec.EnergyPerToken, saving)
 }
+
+func TestPredictShardingCounts(t *testing.T) {
+	tr := ShardedTrace{Replicas: 4, Groups: 8, Requests: 32, PrefixLen: 384, SuffixLen: 16}
+
+	aff := PredictSharding(dep7B(), tr, true)
+	blind := PredictSharding(dep7B(), tr, false)
+
+	// Affinity: each group lives on exactly one replica, so exactly
+	// Groups cold prefills no matter how many requests repeat them.
+	if aff.ColdPrefills != 8 || aff.WarmPrefills != 24 {
+		t.Fatalf("affinity prefills cold=%d warm=%d, want 8/24", aff.ColdPrefills, aff.WarmPrefills)
+	}
+	// Hash-blind round-robin with Groups a multiple of Replicas pins
+	// each group to a fixed rotation of replicas: every (group, replica)
+	// pair that occurs does so once cold. Here gcd alignment makes
+	// every request's (i%8, i%4) pair repeat with period 8, so 8 groups
+	// x 1 replica each = 8 cold in the first lap, then the second lap
+	// revisits... i%8 and i%4 advance together, so pair (g, r) repeats
+	// every lcm(8,4)=8 requests: 8 distinct pairs, 8 cold prefills.
+	if blind.ColdPrefills != 8 {
+		t.Fatalf("blind cold prefills %d, want 8 for aligned groups", blind.ColdPrefills)
+	}
+
+	// Misaligned groups (Groups=6, Replicas=4): lcm(6,4)=12 distinct
+	// (group, replica) pairs over 24 requests — blind routing scatters
+	// each group across 2 replicas and pays double the cold prefills.
+	tr2 := ShardedTrace{Replicas: 4, Groups: 6, Requests: 24, PrefixLen: 384, SuffixLen: 16}
+	aff2 := PredictSharding(dep7B(), tr2, true)
+	blind2 := PredictSharding(dep7B(), tr2, false)
+	if aff2.ColdPrefills != 6 {
+		t.Fatalf("affinity cold prefills %d, want 6", aff2.ColdPrefills)
+	}
+	if blind2.ColdPrefills != 12 {
+		t.Fatalf("blind cold prefills %d, want 12", blind2.ColdPrefills)
+	}
+	if aff2.MeanTTFT >= blind2.MeanTTFT {
+		t.Fatalf("affinity mean TTFT %.4g !< blind %.4g", aff2.MeanTTFT, blind2.MeanTTFT)
+	}
+	if aff2.TotalSeconds <= 0 || blind2.TotalSeconds <= 0 {
+		t.Fatal("prefill makespan not accounted")
+	}
+
+	// A cold prefill must dominate a warm one for the prediction to be
+	// about anything: with a 384-token shared prefix and 16-token
+	// suffix the ratio should be large.
+	one := ShardedTrace{Replicas: 1, Groups: 1, Requests: 2, PrefixLen: 384, SuffixLen: 16}
+	p := PredictSharding(dep7B(), one, true)
+	if p.ColdPrefills != 1 || p.WarmPrefills != 1 {
+		t.Fatalf("single-group prefills cold=%d warm=%d, want 1/1", p.ColdPrefills, p.WarmPrefills)
+	}
+	t.Logf("sharding sim: aligned aff %.4gs vs blind %.4gs; misaligned aff %.4gs vs blind %.4gs mean TTFT",
+		aff.MeanTTFT, blind.MeanTTFT, aff2.MeanTTFT, blind2.MeanTTFT)
+}

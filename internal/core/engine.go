@@ -419,12 +419,29 @@ func (e *Engine) runIteration(active []*reqState) IterationRecord {
 			shapes[i] = e.step(st)
 		}
 	} else {
+		// A panic inside a worker goroutine would kill the whole process
+		// before any caller could contain it; capture the first one and
+		// re-raise it on the scheduler goroutine instead, so a fleet
+		// front-end that recovers around Serve can eject just this
+		// replica. The batch is torn down anyway — partial stepping of
+		// the surviving requests does not need to stay consistent.
+		var panicMu sync.Mutex
+		var panicked any // guarded by panicMu
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		wg.Add(nw)
 		for w := 0; w < nw; w++ {
 			go func() {
 				defer wg.Done()
+				defer func() {
+					if p := recover(); p != nil {
+						panicMu.Lock()
+						if panicked == nil {
+							panicked = p
+						}
+						panicMu.Unlock()
+					}
+				}()
 				for {
 					i := int(next.Add(1)) - 1
 					if i >= len(active) {
@@ -435,6 +452,13 @@ func (e *Engine) runIteration(active []*reqState) IterationRecord {
 			}()
 		}
 		wg.Wait()
+		panicMu.Lock()
+		p := panicked
+		panicMu.Unlock()
+		if p != nil {
+			//lint:ignore panicmsg re-raising the worker's original panic value preserves it for the fleet supervisor's recover
+			panic(p)
+		}
 	}
 	for i, st := range active {
 		sh := shapes[i]

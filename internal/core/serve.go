@@ -150,6 +150,11 @@ type ServeStats struct {
 	// Latency and QueueDelay summarize the most recent completed
 	// requests (Config.LatencyWindow of them), in seconds.
 	Latency, QueueDelay metrics.Summary
+	// LatencySamples and QueueDelaySamples are the raw retained samples
+	// behind the two summaries, exported so a multi-replica rollup can
+	// merge per-replica windows into exact fleet-wide quantiles
+	// (metrics.Merge) instead of averaging per-replica percentiles.
+	LatencySamples, QueueDelaySamples metrics.Snapshot
 	// PrefixCache snapshots the cross-request prefix KV cache;
 	// PrefixCacheEnabled is false (and the stats zero) when
 	// Config.PrefixCacheBytes is unset.
@@ -355,21 +360,23 @@ func (e *Engine) ServeStats() ServeStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := ServeStats{
-		Serving:         !s.stopped,
-		Draining:        s.draining,
-		QueueDepth:      len(s.admit),
-		QueueCap:        e.cfg.QueueDepth,
-		ActiveRequests:  s.activeReqs,
-		MaxBatch:        e.cfg.MaxBatch,
-		Submitted:       s.submitted,
-		Completed:       s.completed,
-		Canceled:        s.canceled,
-		Rejected:        s.rejected,
-		Iterations:      s.iterations,
-		TokensCommitted: s.tokens,
-		KVBytesActive:   s.kvBytes,
-		Latency:         s.latency.Summary(),
-		QueueDelay:      s.queueDelay.Summary(),
+		Serving:           !s.stopped,
+		Draining:          s.draining,
+		QueueDepth:        len(s.admit),
+		QueueCap:          e.cfg.QueueDepth,
+		ActiveRequests:    s.activeReqs,
+		MaxBatch:          e.cfg.MaxBatch,
+		Submitted:         s.submitted,
+		Completed:         s.completed,
+		Canceled:          s.canceled,
+		Rejected:          s.rejected,
+		Iterations:        s.iterations,
+		TokensCommitted:   s.tokens,
+		KVBytesActive:     s.kvBytes,
+		Latency:           s.latency.Summary(),
+		QueueDelay:        s.queueDelay.Summary(),
+		LatencySamples:    s.latency.Snapshot(),
+		QueueDelaySamples: s.queueDelay.Snapshot(),
 
 		PrefixCacheEnabled: e.prefix != nil,
 		PrefixCache:        prefix,
@@ -405,6 +412,21 @@ func (e *Engine) Draining() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.draining
+}
+
+// QueueLen reports the number of submitted requests waiting for a
+// batching slot (0 when no Serve loop is running). It is the cheap
+// signal a router polls for least-queue-depth placement — unlike
+// ServeStats it takes no per-window copies and never walks the prefix
+// cache.
+func (e *Engine) QueueLen() int {
+	e.mu.Lock()
+	s := e.srv
+	e.mu.Unlock()
+	if s == nil {
+		return 0
+	}
+	return len(s.admit)
 }
 
 // Serving reports whether a Serve loop is accepting submissions.

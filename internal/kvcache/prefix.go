@@ -193,6 +193,14 @@ func chunkKey(tokens []int) string {
 	return string(b)
 }
 
+// ChunkKey exposes the trie's 8-byte-little-endian chunk encoding of a
+// token run. The multi-replica router hashes the leading prompt chunk
+// with exactly this encoding, so "requests whose prompts share a trie
+// edge" and "requests the ring maps to the same replica" are the same
+// equivalence classes — the property that makes prefix-affinity routing
+// line up with per-replica prefix-cache contents.
+func ChunkKey(tokens []int) string { return chunkKey(tokens) }
+
 // tick advances the logical LRU clock.
 //
 //lint:holds c.mu

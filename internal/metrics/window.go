@@ -60,3 +60,51 @@ func (w *Window) Values() []float64 {
 
 // Summary summarizes the retained samples (see Summarize).
 func (w *Window) Summary() Summary { return Summarize(w.Values()) }
+
+// Snapshot is a point-in-time copy of a Window's retained samples,
+// detached from the ring so it can cross goroutine (and replica)
+// boundaries without holding the window's lock. The multi-replica
+// rollup path merges one snapshot per replica into fleet-wide
+// quantiles; pooling the raw retained samples is exact for the merged
+// window (unlike averaging per-replica quantiles, which has no defined
+// meaning for P99).
+type Snapshot struct {
+	// Values are the retained samples, oldest first. A nil/empty slice
+	// is a valid snapshot of an empty window.
+	Values []float64
+	// Total is how many samples were ever added to the source window
+	// (retained or evicted), so a rollup can report true event counts
+	// alongside windowed quantiles.
+	Total int
+}
+
+// Snapshot copies the window's retained samples (see Snapshot).
+func (w *Window) Snapshot() Snapshot {
+	return Snapshot{Values: w.Values(), Total: w.n}
+}
+
+// Summary summarizes the snapshot's samples (see Summarize).
+func (s Snapshot) Summary() Summary { return Summarize(s.Values) }
+
+// Merge pools several snapshots into one: the union of their retained
+// samples (concatenated; Summarize sorts) and the sum of their totals.
+// Windows of different capacities and fill levels merge fine — each
+// contributes exactly what it retains — and empty snapshots contribute
+// nothing. This is the fleet rollup primitive: per-replica latency
+// windows merge into one distribution whose quantiles weight each
+// replica by how many recent requests it actually served.
+func Merge(snaps ...Snapshot) Snapshot {
+	var out Snapshot
+	n := 0
+	for _, s := range snaps {
+		n += len(s.Values)
+	}
+	if n > 0 {
+		out.Values = make([]float64, 0, n)
+	}
+	for _, s := range snaps {
+		out.Values = append(out.Values, s.Values...)
+		out.Total += s.Total
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import "testing"
+
+// fillWindow returns a capacity-cap window with samples
+// base+1..base+adds added in order.
+func fillWindow(capacity, adds int, base float64) *Window {
+	w := NewWindow(capacity)
+	for i := 1; i <= adds; i++ {
+		w.Add(base + float64(i))
+	}
+	return w
+}
+
+func TestSnapshotDetachedFromWindow(t *testing.T) {
+	w := fillWindow(4, 3, 0)
+	s := w.Snapshot()
+	w.Add(99) // must not be visible through the earlier snapshot
+	if len(s.Values) != 3 || s.Total != 3 {
+		t.Fatalf("snapshot %v total=%d, want 3 values total=3", s.Values, s.Total)
+	}
+	//lint:ignore floateq test compares exactly the values it inserted
+	if s.Values[2] != 3 {
+		t.Fatalf("snapshot values %v mutated by later Add", s.Values)
+	}
+	if w.Snapshot().Total != 4 {
+		t.Fatal("window total not advanced past snapshot")
+	}
+}
+
+// TestMergeDifferentFillLevels pools a full window, a partially filled
+// one, and one that has evicted: the merge holds the union of retained
+// samples and the sum of true totals.
+func TestMergeDifferentFillLevels(t *testing.T) {
+	full := fillWindow(4, 4, 0)      // retains 1..4, total 4
+	partial := fillWindow(8, 2, 10)  // retains 11,12, total 2
+	evicted := fillWindow(2, 5, 100) // retains 104,105, total 5
+	m := Merge(full.Snapshot(), partial.Snapshot(), evicted.Snapshot())
+	if len(m.Values) != 8 {
+		t.Fatalf("merged %d values, want 4+2+2=8: %v", len(m.Values), m.Values)
+	}
+	if m.Total != 11 {
+		t.Fatalf("merged total %d, want 4+2+5=11", m.Total)
+	}
+	sum := m.Summary()
+	if sum.N != 8 || sum.Min != 1 || sum.Max != 105 {
+		t.Fatalf("merged summary wrong: %+v", sum)
+	}
+	// Quantiles come from the pooled distribution, not from averaging
+	// per-window quantiles: the median must fall between the low
+	// window's samples and the high window's.
+	if sum.P50 < 4 || sum.P50 > 104 {
+		t.Fatalf("pooled median %.3g outside pooled range", sum.P50)
+	}
+}
+
+func TestMergeEmptyWindows(t *testing.T) {
+	empty := NewWindow(4)
+	m := Merge(empty.Snapshot(), empty.Snapshot())
+	if len(m.Values) != 0 || m.Total != 0 {
+		t.Fatalf("merge of empties not empty: %+v", m)
+	}
+	if s := m.Summary(); s.N != 0 {
+		t.Fatalf("empty merge summary N=%d, want 0", s.N)
+	}
+	// Empty snapshots are identity elements: merging them into a live
+	// snapshot changes nothing.
+	live := fillWindow(4, 3, 0)
+	m = Merge(empty.Snapshot(), live.Snapshot(), Snapshot{})
+	if len(m.Values) != 3 || m.Total != 3 {
+		t.Fatalf("empty snapshots perturbed merge: %+v", m)
+	}
+	// Merge of nothing at all is the empty snapshot.
+	if z := Merge(); len(z.Values) != 0 || z.Total != 0 {
+		t.Fatalf("Merge() not empty: %+v", z)
+	}
+}
+
+func TestMergeCapacityOneWindows(t *testing.T) {
+	a := fillWindow(1, 7, 0)  // retains only 7, total 7
+	b := fillWindow(1, 1, 40) // retains 41, total 1
+	if a.Len() != 1 || a.Total() != 7 {
+		t.Fatalf("capacity-1 window len=%d total=%d, want 1/7", a.Len(), a.Total())
+	}
+	m := Merge(a.Snapshot(), b.Snapshot())
+	if len(m.Values) != 2 || m.Total != 8 {
+		t.Fatalf("capacity-1 merge %v total=%d, want 2 values total=8", m.Values, m.Total)
+	}
+	s := m.Summary()
+	if s.N != 2 || s.Min != 7 || s.Max != 41 {
+		t.Fatalf("capacity-1 merge summary wrong: %+v", s)
+	}
+}

@@ -1,14 +1,23 @@
-// Package server exposes a live core.Engine over HTTP: the JSON API of
-// the specinferd daemon. It is a thin, dependency-free (net/http only)
-// frontend over Engine.Serve/Submit:
+// Package server exposes a live core.Engine — or a router.Router
+// fronting a fleet of engine replicas — over HTTP: the JSON API of the
+// specinferd daemon. It is a thin, dependency-free (net/http only)
+// frontend over Engine.Serve/Submit and Router.Run/Submit:
 //
 //	POST /v1/generate  — submit a request; streams NDJSON token chunks
 //	                     when "stream" is true, else returns one JSON
-//	                     result. 429 under backpressure, 503 while
+//	                     result. 429 under backpressure (fleet mode:
+//	                     every replica's queue full), 503 while
 //	                     draining or stopped.
 //	GET  /healthz      — 200 while accepting, 503 while draining/down.
+//	                     Fleet mode is healthy while at least one
+//	                     replica is live and reports per-replica states.
 //	GET  /metricz      — live ServeStats snapshot (queue depth, active
-//	                     slots, tokens/sec, latency quantiles, KV bytes).
+//	                     slots, tokens/sec, latency quantiles, KV
+//	                     bytes). Fleet mode keeps the same top-level
+//	                     aggregate fields (quantiles pooled exactly
+//	                     across replicas via metrics.Merge) and adds a
+//	                     "router" block plus a per-replica "replicas"
+//	                     array.
 //	/debug/pprof/...   — net/http/pprof profiling endpoints.
 //
 // Client disconnects propagate through the request context into the
@@ -30,6 +39,7 @@ import (
 	"specinfer/internal/core"
 	"specinfer/internal/metrics"
 	"specinfer/internal/model"
+	"specinfer/internal/router"
 	"specinfer/internal/workload"
 )
 
@@ -40,8 +50,14 @@ type Tokenizer interface {
 
 // Config configures a Server.
 type Config struct {
-	// Engine is the serving engine; Run starts its Serve loop. Required.
+	// Engine is the serving engine; Run starts its Serve loop. Exactly
+	// one of Engine and Router must be set.
 	Engine *core.Engine
+	// Router, when set instead of Engine, serves a multi-replica fleet:
+	// Run starts the router's fleet loop, /v1/generate places requests
+	// through prefix-affinity routing, and /healthz and /metricz report
+	// fleet-wide rollups.
+	Router *router.Router
 	// Tokenizer, when non-nil, adds a "text" field to generate
 	// responses.
 	Tokenizer Tokenizer
@@ -63,10 +79,12 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Server is the HTTP frontend of one serving engine.
+// Server is the HTTP frontend of one serving engine or one fleet
+// router.
 type Server struct {
 	cfg    Config
-	eng    *core.Engine
+	eng    *core.Engine   // single-engine mode (nil in fleet mode)
+	rt     *router.Router // fleet mode (nil in single-engine mode)
 	mux    *http.ServeMux
 	nextID atomic.Int64
 	// draining flips when Run's context is cancelled, turning /healthz
@@ -85,15 +103,15 @@ func (s *Server) Addr() string {
 	return ""
 }
 
-// New validates the configuration and builds the handler. The engine's
-// Serve loop is started by Run; for tests, StartEngine can run it on a
-// caller-owned context instead.
+// New validates the configuration and builds the handler. The serving
+// loop (engine or fleet) is started by Run; for tests, StartEngine can
+// run it on a caller-owned context instead.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Engine == nil {
-		return nil, fmt.Errorf("server: Config.Engine is required")
+	if (cfg.Engine == nil) == (cfg.Router == nil) {
+		return nil, fmt.Errorf("server: exactly one of Config.Engine and Config.Router is required")
 	}
-	s := &Server{cfg: cfg, eng: cfg.Engine, mux: http.NewServeMux()}
+	s := &Server{cfg: cfg, eng: cfg.Engine, rt: cfg.Router, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/generate", s.handleGenerate)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metricz", s.handleMetricz)
@@ -124,7 +142,7 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 	engCtx, engCancel := context.WithCancel(context.Background())
 	defer engCancel()
 	engDone := make(chan error, 1)
-	go func() { engDone <- s.eng.Serve(engCtx) }()
+	go func() { engDone <- s.serveBackend(engCtx) }()
 
 	httpSrv := &http.Server{Handler: s.mux}
 	httpDone := make(chan error, 1)
@@ -158,13 +176,38 @@ func (s *Server) Run(ctx context.Context, addr string) error {
 	return nil
 }
 
-// StartEngine runs the engine's Serve loop on ctx (test hook for using
-// Handler with httptest instead of Run). The returned channel yields
-// Serve's result.
+// StartEngine runs the serving loop — the engine's Serve or the fleet
+// router's Run — on ctx (test hook for using Handler with httptest
+// instead of Run). The returned channel yields the loop's result.
 func (s *Server) StartEngine(ctx context.Context) <-chan error {
 	done := make(chan error, 1)
-	go func() { done <- s.eng.Serve(ctx) }()
+	go func() { done <- s.serveBackend(ctx) }()
 	return done
+}
+
+// serveBackend runs whichever serving loop the server fronts.
+func (s *Server) serveBackend(ctx context.Context) error {
+	if s.rt != nil {
+		return s.rt.Run(ctx)
+	}
+	return s.eng.Serve(ctx)
+}
+
+// submit places a request on the engine or the fleet.
+func (s *Server) submit(ctx context.Context, req workload.Request) (<-chan model.Token, <-chan core.Result, error) {
+	if s.rt != nil {
+		return s.rt.Submit(ctx, req)
+	}
+	return s.eng.Submit(ctx, req)
+}
+
+// vocabSize reads the shared vocabulary bound (fleet replicas are
+// built from the same core.Config).
+func (s *Server) vocabSize() int {
+	if s.rt != nil {
+		return s.rt.Replica(0).Config().LLM.VocabSize()
+	}
+	return s.eng.Config().LLM.VocabSize()
 }
 
 // SetDraining flips the HTTP edge into drain mode (Run does this
@@ -216,7 +259,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "prompt must be a non-empty array of token ids")
 		return
 	}
-	vocab := s.eng.Config().LLM.VocabSize()
+	vocab := s.vocabSize()
 	for _, tok := range req.Prompt {
 		if tok < 0 || tok >= vocab {
 			httpError(w, http.StatusBadRequest,
@@ -239,7 +282,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	id := int(s.nextID.Add(1))
-	tokens, results, err := s.eng.Submit(ctx, workload.Request{
+	tokens, results, err := s.submit(ctx, workload.Request{
 		ID:        id,
 		Prompt:    req.Prompt,
 		MaxNewTok: req.MaxNewTokens,
@@ -340,7 +383,32 @@ func (s *Server) renderResult(res core.Result) generateResult {
 	return out
 }
 
+// replicaHealth is one replica's entry in the fleet /healthz fan-in.
+type replicaHealth struct {
+	ID    int    `json:"id"`
+	State string `json:"state"`
+	Err   string `json:"err,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.rt != nil {
+		fs := s.rt.FleetStats()
+		reps := make([]replicaHealth, 0, len(fs.Replicas))
+		for _, rs := range fs.Replicas {
+			reps = append(reps, replicaHealth{ID: rs.ID, State: rs.State, Err: rs.Err})
+		}
+		status, text := http.StatusOK, "ok"
+		// The fleet stays healthy while any replica accepts work; it
+		// reports degraded (but still 200) when some replicas are out.
+		switch {
+		case s.draining.Load() || fs.Live == 0:
+			status, text = http.StatusServiceUnavailable, "draining"
+		case fs.Live < len(fs.Replicas):
+			text = "degraded"
+		}
+		writeJSON(w, status, map[string]any{"status": text, "live": fs.Live, "replicas": reps})
+		return
+	}
 	if s.draining.Load() || !s.eng.Serving() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
@@ -374,8 +442,40 @@ type metriczResponse struct {
 	LatencyMs           latencyQuantile `json:"latency_ms"`
 	QueueDelayMs        latencyQuantile `json:"queue_delay_ms"`
 	// PrefixCache is present when the engine's cross-request prefix KV
-	// cache is enabled (core.Config.PrefixCacheBytes).
+	// cache is enabled (core.Config.PrefixCacheBytes). In fleet mode it
+	// is the sum over the replicas' private caches.
 	PrefixCache *prefixCacheMetrics `json:"prefix_cache,omitempty"`
+	// Router and Replicas are present in fleet mode only: the routing
+	// rollup and the per-replica breakdown. The top-level fields above
+	// stay aggregate (sums; quantiles pooled via metrics.Merge), so
+	// dashboards work unchanged across single-engine and fleet
+	// deployments.
+	Router   *routerMetrics   `json:"router,omitempty"`
+	Replicas []replicaMetrics `json:"replicas,omitempty"`
+}
+
+// routerMetrics is the /metricz view of the fleet routing state.
+type routerMetrics struct {
+	Policy string `json:"policy"`
+	// Replicas is the configured fleet size; Live counts replicas
+	// accepting work; RingReplicas counts replicas still owning
+	// consistent-hash arcs (drained/failed replicas own none).
+	Replicas     int `json:"replicas"`
+	Live         int `json:"live"`
+	RingReplicas int `json:"ring_replicas"`
+	// Rerouted counts requests that landed off their first-choice
+	// replica; Shed counts requests refused with every queue full.
+	Rerouted uint64 `json:"rerouted"`
+	Shed     uint64 `json:"shed"`
+}
+
+// replicaMetrics is one replica's /metricz entry: its lifecycle state
+// plus the standard per-engine metrics, inlined.
+type replicaMetrics struct {
+	ID    int    `json:"id"`
+	State string `json:"state"`
+	Err   string `json:"err,omitempty"`
+	metriczResponse
 }
 
 // prefixCacheMetrics is the /metricz view of kvcache.PrefixStats.
@@ -411,11 +511,11 @@ func quantilesMs(s metrics.Summary) latencyQuantile {
 	}
 }
 
-func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
-	st := s.eng.ServeStats()
+// statsToMetricz maps one engine's ServeStats to the JSON shape.
+func statsToMetricz(st core.ServeStats) metriczResponse {
 	resp := metriczResponse{
 		Serving:             st.Serving,
-		Draining:            st.Draining || s.draining.Load(),
+		Draining:            st.Draining,
 		QueueDepth:          st.QueueDepth,
 		QueueCap:            st.QueueCap,
 		ActiveRequests:      st.ActiveRequests,
@@ -444,6 +544,78 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 			Nodes: p.Nodes, Tails: p.Tails, Pinned: p.Pinned,
 		}
 	}
+	return resp
+}
+
+// fleetMetricz builds the fleet rollup: the same top-level aggregate
+// fields a single engine reports (sums over replicas; latency and
+// queue-delay quantiles pooled exactly from the per-replica sample
+// windows), plus the router block and per-replica breakdown.
+func fleetMetricz(fs router.FleetStats) metriczResponse {
+	resp := metriczResponse{
+		Serving:    fs.Live > 0,
+		QueueDepth: fs.QueueDepth, QueueCap: fs.QueueCap,
+		Submitted: fs.Submitted, Completed: fs.Completed,
+		Canceled: fs.Canceled, Rejected: fs.Rejected,
+		TokensCommitted: fs.TokensCommitted,
+		TokensPerSec:    fs.TokensPerSec, TokensPerSecRecent: fs.RecentTokensPerSec,
+		KVBytesActive: fs.KVBytesActive,
+		LatencyMs:     quantilesMs(fs.Latency),
+		QueueDelayMs:  quantilesMs(fs.QueueDelay),
+		Router: &routerMetrics{
+			Policy:   fs.Policy,
+			Replicas: len(fs.Replicas), Live: fs.Live, RingReplicas: fs.RingReplicas,
+			Rerouted: fs.Rerouted, Shed: fs.Shed,
+		},
+	}
+	var agg *prefixCacheMetrics
+	for _, rs := range fs.Replicas {
+		rm := replicaMetrics{ID: rs.ID, State: rs.State, Err: rs.Err,
+			metriczResponse: statsToMetricz(rs.ServeStats)}
+		resp.Replicas = append(resp.Replicas, rm)
+		resp.ActiveRequests += rs.ActiveRequests
+		resp.MaxBatch += rs.MaxBatch
+		resp.Iterations += rs.Iterations
+		if rs.UptimeSeconds > resp.UptimeSeconds {
+			resp.UptimeSeconds = rs.UptimeSeconds
+		}
+		if rs.RecentWindowSeconds > resp.RecentWindowSeconds {
+			resp.RecentWindowSeconds = rs.RecentWindowSeconds
+		}
+		if p := rm.PrefixCache; p != nil {
+			if agg == nil {
+				agg = &prefixCacheMetrics{}
+			}
+			agg.Hits += p.Hits
+			agg.Misses += p.Misses
+			agg.Inserts += p.Inserts
+			agg.Evictions += p.Evictions
+			agg.TokensShared += p.TokensShared
+			agg.BytesShared += p.BytesShared
+			agg.Bytes += p.Bytes
+			agg.MaxBytes += p.MaxBytes
+			agg.Nodes += p.Nodes
+			agg.Tails += p.Tails
+			agg.Pinned += p.Pinned
+		}
+	}
+	if agg != nil {
+		if total := agg.Hits + agg.Misses; total > 0 {
+			agg.HitRate = float64(agg.Hits) / float64(total)
+		}
+		resp.PrefixCache = agg
+	}
+	return resp
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	var resp metriczResponse
+	if s.rt != nil {
+		resp = fleetMetricz(s.rt.FleetStats())
+	} else {
+		resp = statsToMetricz(s.eng.ServeStats())
+	}
+	resp.Draining = resp.Draining || s.draining.Load()
 	writeJSON(w, http.StatusOK, resp)
 }
 

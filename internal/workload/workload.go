@@ -249,6 +249,11 @@ type Request struct {
 	ID        int
 	Prompt    []int
 	MaxNewTok int
+	// Group is the shared-prefix group the request belongs to (0 for
+	// traces without prefix structure): requests with the same Group
+	// open with the same prompt prefix. Routing benchmarks use it to
+	// check that affinity placement keeps a group on one replica.
+	Group int
 }
 
 // Trace builds a request trace of n requests with fixed prompt length and
@@ -269,26 +274,75 @@ func (m *Markov) Trace(rng *tensor.RNG, n, promptLen, maxNew int) []Request {
 // (each from an independent sampling path), so the prompts remain
 // in-distribution for models trained on the process.
 func (m *Markov) SharedPrefixTrace(rng *tensor.RNG, n, prefixLen, suffixLen, maxNew int) []Request {
+	return m.GroupedSharedPrefixTrace(rng, n, 1, prefixLen, suffixLen, maxNew, 1)
+}
+
+// GroupedSharedPrefixTrace generalizes SharedPrefixTrace to `groups`
+// distinct shared prefixes — the multi-tenant shape the replica router
+// is built for: several system prompts in concurrent use, each shared
+// by many requests. Group g's traffic share is proportional to mix^g
+// (mix in (0, 1]; 1 means uniform, smaller values skew traffic toward
+// the low-numbered groups the way production system prompts are
+// head-heavy). Request-to-group assignment is deterministic in the
+// request index — smooth weighted round-robin, consuming no RNG — so
+// the same (n, groups, mix) always yields the same assignment and the
+// groups stay interleaved along the trace instead of arriving in runs.
+// Each request's Group field records its assignment.
+func (m *Markov) GroupedSharedPrefixTrace(rng *tensor.RNG, n, groups, prefixLen, suffixLen, maxNew int, mix float64) []Request {
 	if prefixLen < 1 || suffixLen < 1 {
-		panic("workload: SharedPrefixTrace needs positive prefix and suffix lengths")
+		panic("workload: GroupedSharedPrefixTrace needs positive prefix and suffix lengths")
 	}
-	prefix := m.Generate(rng, prefixLen)
-	a, b := 0, prefix[prefixLen-1]
-	if prefixLen >= 2 {
-		a = prefix[prefixLen-2]
+	if groups < 1 {
+		panic("workload: GroupedSharedPrefixTrace needs at least one group")
+	}
+	if mix <= 0 || mix > 1 {
+		panic(fmt.Sprintf("workload: mixing ratio %v outside (0, 1]", mix))
+	}
+	type group struct {
+		prefix []int
+		a, b   int // Markov context at the prefix boundary
+	}
+	gs := make([]group, groups)
+	for g := range gs {
+		prefix := m.Generate(rng, prefixLen)
+		a, b := 0, prefix[prefixLen-1]
+		if prefixLen >= 2 {
+			a = prefix[prefixLen-2]
+		}
+		gs[g] = group{prefix: prefix, a: a, b: b}
+	}
+	weights := make([]float64, groups)
+	current := make([]float64, groups)
+	var total float64
+	for g := range weights {
+		weights[g] = math.Pow(mix, float64(g))
+		total += weights[g]
 	}
 	reqs := make([]Request, n)
 	for i := range reqs {
+		// Smooth weighted round-robin: every group accrues its weight,
+		// the largest accumulator wins and pays back the total. Ties
+		// break toward the lowest group index, keeping the schedule a
+		// pure function of (groups, mix, i).
+		pick := 0
+		for g := range current {
+			current[g] += weights[g]
+			if current[g] > current[pick] {
+				pick = g
+			}
+		}
+		current[pick] -= total
+		gr := gs[pick]
 		prompt := make([]int, prefixLen, prefixLen+suffixLen)
-		copy(prompt, prefix)
-		ca, cb := a, b
+		copy(prompt, gr.prefix)
+		ca, cb := gr.a, gr.b
 		for len(prompt) < prefixLen+suffixLen {
 			s := m.successors(ca, cb)
 			t := s.toks[rng.SampleCategorical(s.weights)]
 			prompt = append(prompt, t)
 			ca, cb = cb, t
 		}
-		reqs[i] = Request{ID: i, Prompt: prompt, MaxNewTok: maxNew}
+		reqs[i] = Request{ID: i, Prompt: prompt, MaxNewTok: maxNew, Group: pick}
 	}
 	return reqs
 }

@@ -215,3 +215,113 @@ func TestSharedPrefixTrace(t *testing.T) {
 	}()
 	mk.SharedPrefixTrace(tensor.NewRNG(1), 1, 0, 4, 4)
 }
+
+func TestGroupedSharedPrefixTraceDeterminism(t *testing.T) {
+	mk := NewMarkov(DatasetByName("Alpaca"))
+	const (
+		n, groups = 24, 5
+		pre, suf  = 32, 8
+		maxNew    = 4
+		mix       = 0.7
+	)
+	a := mk.GroupedSharedPrefixTrace(tensor.NewRNG(91), n, groups, pre, suf, maxNew, mix)
+	b := mk.GroupedSharedPrefixTrace(tensor.NewRNG(91), n, groups, pre, suf, maxNew, mix)
+	if len(a) != n || len(b) != n {
+		t.Fatalf("trace lengths %d/%d, want %d", len(a), len(b), n)
+	}
+	prefixes := make(map[int][]int, groups)
+	for i := range a {
+		if a[i].Group != b[i].Group {
+			t.Fatalf("group assignment not deterministic at request %d: %d vs %d",
+				i, a[i].Group, b[i].Group)
+		}
+		if fmt.Sprint(a[i].Prompt) != fmt.Sprint(b[i].Prompt) {
+			t.Fatalf("prompt not deterministic at request %d", i)
+		}
+		g := a[i].Group
+		if g < 0 || g >= groups {
+			t.Fatalf("request %d assigned to out-of-range group %d", i, g)
+		}
+		// Every member of a group shares that group's prefix exactly.
+		if seen, ok := prefixes[g]; !ok {
+			prefixes[g] = a[i].Prompt[:pre]
+		} else {
+			for j := range seen {
+				if a[i].Prompt[j] != seen[j] {
+					t.Fatalf("request %d diverges from group %d prefix at token %d", i, g, j)
+				}
+			}
+		}
+	}
+	// Distinct groups must have distinct prefixes, or the router bench
+	// would be comparing identical traffic.
+	uniq := make(map[string]bool, groups)
+	for g, p := range prefixes {
+		key := fmt.Sprint(p)
+		if uniq[key] {
+			t.Fatalf("group %d shares its prefix with another group", g)
+		}
+		uniq[key] = true
+	}
+}
+
+// TestGroupedSharedPrefixTraceAssignment pins the deterministic
+// schedule: at mix=1 the smooth weighted round-robin degenerates to
+// request i -> group i mod groups (the assignment
+// cluster.PredictSharding replays), and at mix<1 traffic skews toward
+// the low-numbered groups in weight order.
+func TestGroupedSharedPrefixTraceAssignment(t *testing.T) {
+	mk := NewMarkov(DatasetByName("Alpaca"))
+	uniform := mk.GroupedSharedPrefixTrace(tensor.NewRNG(7), 21, 7, 16, 4, 2, 1)
+	for i, r := range uniform {
+		if r.Group != i%7 {
+			t.Fatalf("mix=1 request %d in group %d, want %d", i, r.Group, i%7)
+		}
+	}
+
+	skewed := mk.GroupedSharedPrefixTrace(tensor.NewRNG(7), 200, 4, 16, 4, 2, 0.5)
+	counts := make([]int, 4)
+	for _, r := range skewed {
+		counts[r.Group]++
+	}
+	for g := 1; g < 4; g++ {
+		if counts[g] > counts[g-1] {
+			t.Fatalf("mix=0.5 counts %v not head-heavy", counts)
+		}
+	}
+	// Weights 1,.5,.25,.125 over 200 requests: group 0 carries ~8/15.
+	if counts[0] < counts[3]*4 {
+		t.Fatalf("mix=0.5 skew too weak: %v", counts)
+	}
+}
+
+// TestSharedPrefixTraceIsGroupedK1 pins backward compatibility: the
+// single-prefix trace is exactly the grouped trace with one group.
+func TestSharedPrefixTraceIsGroupedK1(t *testing.T) {
+	mk := NewMarkov(DatasetByName("WebQA"))
+	old := mk.SharedPrefixTrace(tensor.NewRNG(5), 6, 24, 6, 3)
+	grouped := mk.GroupedSharedPrefixTrace(tensor.NewRNG(5), 6, 1, 24, 6, 3, 1)
+	for i := range old {
+		if old[i].Group != 0 || grouped[i].Group != 0 {
+			t.Fatalf("K=1 request %d not in group 0", i)
+		}
+		if fmt.Sprint(old[i].Prompt) != fmt.Sprint(grouped[i].Prompt) {
+			t.Fatalf("K=1 grouped trace diverges from SharedPrefixTrace at request %d", i)
+		}
+	}
+
+	for _, bad := range []func(){
+		func() { mk.GroupedSharedPrefixTrace(tensor.NewRNG(1), 1, 0, 4, 4, 1, 1) },
+		func() { mk.GroupedSharedPrefixTrace(tensor.NewRNG(1), 1, 1, 4, 4, 1, 0) },
+		func() { mk.GroupedSharedPrefixTrace(tensor.NewRNG(1), 1, 1, 4, 4, 1, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad GroupedSharedPrefixTrace parameters did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

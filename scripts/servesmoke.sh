@@ -80,3 +80,98 @@ else
     PID=""
     exit 1
 fi
+
+# ---- Fleet phase: 2-replica daemon with prefix-affinity routing ----
+# Boot a 2-replica fleet on the paged transformer substrate with the
+# prefix cache on, send the SAME >64-token prompt twice, and assert the
+# /metricz rollup (a) reports both replicas and (b) shows the second
+# request hitting the first's prefix KV pages — which can only happen
+# if affinity routed both to the same replica (each replica's cache is
+# private).
+echo "servesmoke: fleet (2 replicas, prefix affinity)"
+"$BIN" -addr "$ADDR" -batch 2 -queue 8 -replicas 2 \
+    -variant paged -prefix-cache-mb 64 &
+PID=$!
+
+up=0
+for _ in $(seq 1 40); do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then
+        up=1
+        break
+    fi
+    sleep 0.25
+done
+if [ "$up" -ne 1 ]; then
+    echo "servesmoke: fleet daemon never became healthy" >&2
+    exit 1
+fi
+
+# 72 tokens: one full 64-token KV page plus change, all inside the
+# Alpaca vocabulary (192).
+prompt=$(seq 1 72 | paste -sd, -)
+for i in 1 2; do
+    out=$(curl -sf -X POST "http://$ADDR/v1/generate" \
+        -d "{\"prompt\":[$prompt],\"max_new_tokens\":4}")
+    case "$out" in
+    *'"tokens":['*) ;;
+    *)
+        echo "servesmoke: fleet generate $i missing tokens: $out" >&2
+        exit 1
+        ;;
+    esac
+done
+
+echo "servesmoke: fleet metricz rollup"
+fleet=$(curl -sf "http://$ADDR/metricz")
+echo "$fleet"
+case "$fleet" in
+*'"policy":"prefix-affinity"'*) ;;
+*)
+    echo "servesmoke: fleet metricz missing router block" >&2
+    exit 1
+    ;;
+esac
+case "$fleet" in
+*'"live":2'*) ;;
+*)
+    echo "servesmoke: fleet metricz does not report 2 live replicas" >&2
+    exit 1
+    ;;
+esac
+live_entries=$(printf '%s' "$fleet" | grep -o '"state":"live"' | wc -l)
+if [ "$live_entries" -lt 2 ]; then
+    echo "servesmoke: per-replica array reports $live_entries live entries, want 2" >&2
+    exit 1
+fi
+# Both same-prompt requests on one replica: the fleet aggregate AND
+# that replica's entry each report submitted=2, so the string appears
+# at least twice. A split (1+1) would show it at most once.
+stuck=$(printf '%s' "$fleet" | grep -o '"submitted":2' | wc -l)
+if [ "$stuck" -lt 2 ]; then
+    echo "servesmoke: same-prefix requests did not land on one replica" >&2
+    exit 1
+fi
+# The FIRST "hits" in the document is the fleet-wide aggregate (the
+# per-replica entries, which follow it, include the idle replica's
+# zero-hit cache).
+agg_hits=$(printf '%s' "$fleet" | grep -o '"hits":[0-9]*' | head -1 | cut -d: -f2)
+if [ -z "$agg_hits" ]; then
+    echo "servesmoke: fleet metricz missing prefix_cache block" >&2
+    exit 1
+fi
+if [ "$agg_hits" -lt 1 ]; then
+    echo "servesmoke: second shared-prefix request missed the prefix cache" >&2
+    exit 1
+fi
+
+echo "servesmoke: fleet SIGTERM drain"
+kill -TERM "$PID"
+if wait "$PID"; then
+    echo "servesmoke: fleet clean drain (exit 0)"
+    PID=""
+else
+    code=$?
+    echo "servesmoke: fleet daemon exited $code after SIGTERM" >&2
+    PID=""
+    exit 1
+fi
