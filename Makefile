@@ -34,7 +34,7 @@ lint:
 # One-iteration pass over the perf microbenchmarks: catches bit-rot in the
 # benchmark drivers without paying for a full measurement run.
 benchsmoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkForward|BenchmarkEngineIteration' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkForward|BenchmarkEngineIteration|BenchmarkVerifier' -benchtime 1x .
 
 # Run the serving daemon locally (ctrl-C drains gracefully).
 serve:
@@ -45,11 +45,11 @@ serve:
 servesmoke:
 	./scripts/servesmoke.sh
 
-# Full measurement run with a pinned benchtime; writes BENCH_PR8.json
+# Full measurement run with a pinned benchtime; writes BENCH_PR9.json
 # (benchmark -> ns/op, ns/token, allocs/op, plus paged-vs-slice,
 # paged-vs-reference, batched-vs-reference, prefix-cache warm-vs-cold,
-# quantized-vs-float, and router affinity-vs-blind speedups, with host
-# provenance) at the repo root. Compare two reports with
-# `go run ./cmd/benchdiff`.
+# quantized-vs-float, router affinity-vs-blind, and verifier
+# traversal-vs-MSS accept-length comparisons, with host provenance) at
+# the repo root. Compare two reports with `go run ./cmd/benchdiff`.
 bench:
-	$(GO) run ./cmd/perfbench -benchtime 1s -o BENCH_PR8.json
+	$(GO) run ./cmd/perfbench -benchtime 1s -o BENCH_PR9.json

@@ -148,3 +148,15 @@ func BenchmarkEngineIteration(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkVerifier runs the PR 9 accept-length scenarios: traversal vs
+// MSS verification on identical speculation instances per Table-1
+// dataset. The accept-len metric is deterministic (fixed instance stream
+// and paired seeds); ns/op is the verification cost.
+func BenchmarkVerifier(b *testing.B) {
+	for _, pb := range bench.PerfSuite() {
+		if strings.HasPrefix(pb.Name, "verifier/") {
+			b.Run(strings.TrimPrefix(pb.Name, "verifier/"), pb.Run)
+		}
+	}
+}

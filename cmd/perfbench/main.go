@@ -30,6 +30,9 @@ type Result struct {
 	NsPerToken  float64 `json:"ns_token"`
 	AllocsPerOp uint64  `json:"allocs_op"`
 	BytesPerOp  uint64  `json:"bytes_op"`
+	// AcceptLen is the deterministic mean accepted speculated tokens per
+	// verification, present only on verifier/accept-length scenarios.
+	AcceptLen float64 `json:"accept_len,omitempty"`
 }
 
 // Speedup compares a batched benchmark against its reference twin.
@@ -38,6 +41,10 @@ type Speedup struct {
 	Reference      string  `json:"reference"`
 	TimeSpeedup    float64 `json:"time_speedup"`
 	AllocReduction float64 `json:"alloc_reduction"`
+	// AcceptLenGain is batched's accept-len over the reference's, present
+	// only when both report the metric (the traversal-vs-MSS pairs; the
+	// PR 9 gate is gain >= 1.0 on every dataset).
+	AcceptLenGain float64 `json:"accept_len_gain,omitempty"`
 }
 
 // Report is the top-level JSON document.
@@ -74,6 +81,7 @@ func cpuModel() string {
 func main() {
 	benchtime := flag.String("benchtime", "0.3s", "per-benchmark run time (test.benchtime syntax, e.g. 0.3s or 10x)")
 	variant := flag.String("variant", "", "restrict the suite to one variant's scenarios (e.g. 'quantized' runs only the quantized-vs-float longctx sweep)")
+	verifierSel := flag.String("verifier", "", "restrict the verifier/accept-length scenarios to one verifier (mss or traversal); other scenarios are dropped")
 	out := flag.String("o", "", "output JSON path (required)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the suite run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
@@ -129,18 +137,37 @@ func main() {
 		}
 		suite = kept
 	}
+	if *verifierSel != "" {
+		if *verifierSel != "mss" && *verifierSel != "traversal" {
+			fmt.Fprintf(os.Stderr, "perfbench: unknown verifier %q (want mss or traversal)\n", *verifierSel)
+			os.Exit(2)
+		}
+		var kept []bench.PerfBenchmark
+		for _, pb := range suite {
+			if strings.HasPrefix(pb.Name, "verifier/accept-length/") && strings.HasSuffix(pb.Name, "/"+*verifierSel) {
+				kept = append(kept, pb)
+			}
+		}
+		suite = kept
+	}
 	for _, pb := range suite {
 		r := testing.Benchmark(pb.Run)
 		nsOp := float64(r.T.Nanoseconds()) / float64(r.N)
-		rep.Benchmarks[pb.Name] = Result{
+		res := Result{
 			Iterations:  r.N,
 			NsPerOp:     nsOp,
 			NsPerToken:  nsOp / pb.TokensPerOp,
 			AllocsPerOp: uint64(r.AllocsPerOp()),
 			BytesPerOp:  uint64(r.AllocedBytesPerOp()),
+			AcceptLen:   r.Extra["accept-len"],
 		}
-		fmt.Printf("%-32s %10d ns/op  %10.0f ns/token  %7d allocs/op\n",
-			pb.Name, int64(nsOp), nsOp/pb.TokensPerOp, r.AllocsPerOp())
+		rep.Benchmarks[pb.Name] = res
+		extra := ""
+		if res.AcceptLen > 0 {
+			extra = fmt.Sprintf("  %.4f accept-len", res.AcceptLen)
+		}
+		fmt.Printf("%-32s %10d ns/op  %10.0f ns/token  %7d allocs/op%s\n",
+			pb.Name, int64(nsOp), nsOp/pb.TokensPerOp, r.AllocsPerOp(), extra)
 	}
 
 	// Pair every new-path benchmark with its baseline twin(s). The paged
@@ -170,6 +197,9 @@ func main() {
 		case strings.HasSuffix(pb.Name, "/affinity"):
 			base := strings.TrimSuffix(pb.Name, "/affinity")
 			pairs = append(pairs, pairing{base, base + "/blind"})
+		case strings.HasSuffix(pb.Name, "/traversal"):
+			base := strings.TrimSuffix(pb.Name, "/traversal")
+			pairs = append(pairs, pairing{base, base + "/mss"})
 		default:
 			continue
 		}
@@ -188,6 +218,9 @@ func main() {
 			}
 			if b.AllocsPerOp > 0 {
 				sp.AllocReduction = float64(r.AllocsPerOp) / float64(b.AllocsPerOp)
+			}
+			if b.AcceptLen > 0 && r.AcceptLen > 0 {
+				sp.AcceptLenGain = b.AcceptLen / r.AcceptLen
 			}
 			rep.Speedups[p.key] = sp
 			fmt.Printf("%-40s %.2fx time, %.2fx allocs vs %s\n", p.key, sp.TimeSpeedup, sp.AllocReduction, p.ref)

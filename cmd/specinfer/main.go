@@ -42,6 +42,7 @@ func main() {
 		batch      = flag.Int("batch", 4, "continuous batching slots")
 		gen        = flag.Int("gen", 64, "tokens to generate per request")
 		stochastic = flag.Bool("stochastic", false, "stochastic decoding (default greedy)")
+		verif      = flag.String("verifier", "", "stochastic verification algorithm: mss|naive|traversal (default mss; ignored under greedy decoding)")
 		temp       = flag.Float64("temperature", 1, "sampling temperature (stochastic)")
 		topK       = flag.Int("topk", 0, "top-k sampling filter, 0 disables")
 		topP       = flag.Float64("topp", 0, "nucleus sampling mass, 0 disables")
@@ -96,6 +97,7 @@ func main() {
 	cfg := core.Config{
 		LLM:      llm,
 		Variant:  *variant,
+		Verifier: *verif,
 		SeqDepth: *depth,
 		MaxBatch: *batch,
 		Seed:     *seed,

@@ -50,6 +50,7 @@ func main() {
 		depth      = flag.Int("depth", 8, "speculation depth")
 		batch      = flag.Int("batch", 4, "continuous batching slots")
 		stochastic = flag.Bool("stochastic", false, "stochastic decoding (default greedy)")
+		verif      = flag.String("verifier", "", "stochastic verification algorithm: mss|naive|traversal (default mss; ignored under greedy decoding)")
 		temp       = flag.Float64("temperature", 1, "sampling temperature (stochastic)")
 		topK       = flag.Int("topk", 0, "top-k sampling filter, 0 disables")
 		topP       = flag.Float64("topp", 0, "nucleus sampling mass, 0 disables")
@@ -105,6 +106,7 @@ func main() {
 	cfg := core.Config{
 		LLM:          llm,
 		Variant:      *variant,
+		Verifier:     *verif,
 		SeqDepth:     *depth,
 		MaxBatch:     *batch,
 		Seed:         *seed,

@@ -1,0 +1,20 @@
+package bench
+
+import "testing"
+
+// TestTraversalAcceptLenDominatesMSS is the PR 9 acceptance gate in test
+// form: on every Table-1 dataset's fixed instance stream, traversal
+// verification's deterministic mean accepted length must be at least
+// MSS's. Both scenarios replay identical (tree, dists) instances with
+// paired RNG seeds, so the comparison has no sampling mismatch — only
+// the algorithms differ.
+func TestTraversalAcceptLenDominatesMSS(t *testing.T) {
+	for _, ds := range Datasets() {
+		mss := AcceptLenMean(ds, "mss")
+		trav := AcceptLenMean(ds, "traversal")
+		t.Logf("%-8s accept-len: traversal %.4f  mss %.4f  (gain %.3fx)", ds.Name, trav, mss, trav/mss)
+		if trav < mss {
+			t.Errorf("%s: traversal accept-len %.4f < mss %.4f", ds.Name, trav, mss)
+		}
+	}
+}

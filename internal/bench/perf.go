@@ -531,6 +531,10 @@ func PerfSuite() []PerfBenchmark {
 	} {
 		add(s.name, s.tokens, routerBench(s.cfg))
 	}
+	// PR 9 tentpole scenario: mean accepted speculated tokens per
+	// verification, traversal vs MSS on identical instances (gate:
+	// traversal's accept-len >= MSS's on every Table-1 dataset).
+	out = append(out, AcceptLenSuite()...)
 	return out
 }
 

@@ -106,9 +106,18 @@ type Config struct {
 	// ForceTopK forces top-k expansion even under stochastic decoding
 	// (see speculator.Config).
 	ForceTopK bool
+	// Verifier selects the stochastic verification algorithm: VerifierMSS
+	// (multi-step speculative sampling, the paper's Algorithm 2 — the
+	// default), VerifierTraversal (leaf-to-root subsequence acceptance,
+	// lossless like MSS with >= expected accept length on the same tree),
+	// or VerifierNaive (the naive-sampling ablation baseline of Table 3).
+	// Ignored under greedy decoding, which always uses argmax descent.
+	Verifier string
 	// NaiveSampling replaces multi-step speculative sampling with the
 	// naive-sampling baseline during stochastic verification (the ablation
-	// of Table 3). Ignored under greedy decoding.
+	// of Table 3). Ignored under greedy decoding. Deprecated alias for
+	// Verifier = VerifierNaive; setting both to conflicting values is a
+	// configuration error.
 	NaiveSampling bool
 	// Adaptive, when non-nil, replaces the static expansion configuration
 	// with dynamic best-first tree growth (the paper's stated future
@@ -152,6 +161,16 @@ type Config struct {
 // Config.EOS: generation runs to each request's MaxNewTok budget.
 const NoEOS model.Token = -1
 
+// Stochastic verifier selectors for Config.Verifier.
+const (
+	// VerifierMSS is multi-step speculative sampling (Theorem 4.2).
+	VerifierMSS = "mss"
+	// VerifierNaive is the naive-sampling baseline (Theorem 4.3).
+	VerifierNaive = "naive"
+	// VerifierTraversal is leaf-to-root traversal verification.
+	VerifierTraversal = "traversal"
+)
+
 // treeSpeculator is the lifecycle both the static and the adaptive
 // speculators implement.
 type treeSpeculator interface {
@@ -182,6 +201,13 @@ func (c Config) withDefaults() Config {
 	if c.LatencyWindow == 0 {
 		c.LatencyWindow = 1024
 	}
+	if c.Verifier == "" {
+		if c.NaiveSampling {
+			c.Verifier = VerifierNaive
+		} else {
+			c.Verifier = VerifierMSS
+		}
+	}
 	if c.Clock == nil {
 		//lint:ignore nondeterminism live serving measures real wall-clock queueing/latency; the offline deterministic paths never read Clock
 		c.Clock = time.Now
@@ -207,6 +233,15 @@ func (c Config) validate() error {
 	}
 	if c.Mode != Incremental && len(c.SSMs) == 0 {
 		return fmt.Errorf("core: %v mode requires at least one SSM", c.Mode)
+	}
+	switch c.Verifier {
+	case VerifierMSS, VerifierNaive, VerifierTraversal:
+	default:
+		return fmt.Errorf("core: unknown verifier %q (want %s, %s or %s)",
+			c.Verifier, VerifierMSS, VerifierNaive, VerifierTraversal)
+	}
+	if c.NaiveSampling && c.Verifier != VerifierNaive {
+		return fmt.Errorf("core: NaiveSampling conflicts with Verifier=%q; pick one", c.Verifier)
 	}
 	if msg := c.Expansion.Validate(); msg != "" {
 		return fmt.Errorf("core: %s", msg)
@@ -240,6 +275,10 @@ type RequestResult struct {
 	TreeNodesPerStep []int
 	// PromptLen is the request's prompt length.
 	PromptLen int
+	// Err is non-nil when the request was retired by a serving error (for
+	// the offline paths, a verifier error on a malformed speculated tree);
+	// Output then holds whatever was committed before the failure.
+	Err error
 }
 
 // AvgCommitted returns the request's average tokens per decoding step —
@@ -284,6 +323,13 @@ type IterationRecord struct {
 	// tokens its LLM session served from the cross-request prefix cache
 	// at admission (0 on a miss or with the cache disabled).
 	PrefixSharedToks []int
+	// SpecAccepted[i] is the number of speculated tokens the i-th
+	// request's verification accepted this iteration — the committed run
+	// minus the bonus token, before budget/EOS truncation — i.e. the
+	// verifier's accept length, the quantity traversal verification
+	// improves over MSS. -1 when the verification failed. Nil for
+	// incremental decoding (no speculation to accept).
+	SpecAccepted []int
 	// SpecSteps is the number of SSM decoding levels used to build the
 	// trees (0 for incremental).
 	SpecSteps int
@@ -346,6 +392,10 @@ type reqState struct {
 	rng      *tensor.RNG
 	res      RequestResult
 	done     bool
+	// verr is the verification error that retired the request, if any
+	// (also recorded in res.Err; kept separately so the live path can
+	// finish the submission with it).
+	verr error
 	// live is the submission handle when the request arrived through
 	// Submit (nil on the offline Run/RunOnline paths).
 	live *liveReq
@@ -467,6 +517,9 @@ func (e *Engine) runIteration(active []*reqState) IterationRecord {
 		rec.TreeLeaves = append(rec.TreeLeaves, sh.leaves)
 		rec.TreePathPositions = append(rec.TreePathPositions, sh.pathPositions)
 		rec.Committed = append(rec.Committed, sh.committed)
+		if e.cfg.Mode != Incremental {
+			rec.SpecAccepted = append(rec.SpecAccepted, sh.specAccepted)
+		}
 		rec.CtxLens = append(rec.CtxLens, st.llm.Len())
 		rec.CacheBytes = append(rec.CacheBytes, sessionCacheBytes(st.llm))
 		shared := 0
@@ -553,6 +606,7 @@ type stepShape struct {
 	leaves        int // root-to-leaf sequences in the tree
 	pathPositions int // summed root-to-leaf path lengths
 	committed     int // tokens committed
+	specAccepted  int // speculated tokens the verifier accepted (-1 on error)
 }
 
 // step runs one decoding iteration for one request.
@@ -570,11 +624,26 @@ func (e *Engine) step(st *reqState) stepShape {
 	tr := st.spec.Speculate(st.lastTok)
 	dists := st.llm.DecodeTree(tr)
 	var verified []model.Token
-	if e.cfg.NaiveSampling && e.cfg.Sample.Mode == sampling.Stochastic {
+	var verr error
+	switch {
+	case e.cfg.Sample.Mode == sampling.Greedy:
+		verified = verifier.VerifyGreedy(dists, tr)
+	case e.cfg.Verifier == VerifierNaive:
 		verified = verifier.VerifyNaive(dists, tr, e.cfg.Sample, st.rng)
-	} else {
-		verified = verifier.Verify(dists, tr, e.cfg.Sample, st.rng)
+	case e.cfg.Verifier == VerifierTraversal:
+		verified, verr = verifier.VerifyTraversal(dists, tr, e.cfg.Sample, st.rng)
+	default:
+		verified, verr = verifier.VerifyStochastic(dists, tr, e.cfg.Sample, st.rng)
 	}
+	if verr != nil {
+		// A malformed speculated tree fails this one request, not the
+		// replica: retire it with the error and commit nothing.
+		st.verr = verr
+		st.res.Err = verr
+		st.done = true
+		return stepShape{nodes: tr.NumSpeculated(), specAccepted: -1}
+	}
+	specAccepted := len(verified) - 1 // accept length, before truncation
 	verified = e.truncate(st, verified)
 	st.lastDist = st.llm.Accept(verified)
 	st.spec.Accept(verified)
@@ -584,8 +653,9 @@ func (e *Engine) step(st *reqState) stepShape {
 	st.res.TreeNodesPerStep = append(st.res.TreeNodesPerStep, tr.NumSpeculated())
 
 	sh := stepShape{
-		nodes:     tr.NumSpeculated(),
-		committed: len(verified),
+		nodes:        tr.NumSpeculated(),
+		committed:    len(verified),
+		specAccepted: specAccepted,
 	}
 	for _, leaf := range tr.Leaves() {
 		sh.leaves++

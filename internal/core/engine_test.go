@@ -703,3 +703,93 @@ func TestZeroTokenEOSTreeSpec(t *testing.T) {
 		}
 	}
 }
+
+// TestVerifierSelection: Config.Verifier wiring — the MSS default, the
+// deprecated NaiveSampling alias, and rejection of unknown or conflicting
+// selections.
+func TestVerifierSelection(t *testing.T) {
+	llm, ssm, _ := testModels(t, 1, 1)
+	base := func() Config {
+		return Config{Mode: TreeSpec, LLM: llm, SSMs: []model.Model{ssm}, Sample: sampling.StochasticConfig()}
+	}
+
+	e, err := NewEngine(base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.cfg.Verifier != VerifierMSS {
+		t.Fatalf("default verifier %q, want %q", e.cfg.Verifier, VerifierMSS)
+	}
+
+	cfg := base()
+	cfg.NaiveSampling = true
+	if e, err = NewEngine(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if e.cfg.Verifier != VerifierNaive {
+		t.Fatalf("NaiveSampling alias resolved to %q, want %q", e.cfg.Verifier, VerifierNaive)
+	}
+
+	cfg = base()
+	cfg.Verifier = "banzai"
+	if _, err := NewEngine(cfg); err == nil {
+		t.Fatal("unknown verifier must fail validation")
+	}
+
+	cfg = base()
+	cfg.NaiveSampling = true
+	cfg.Verifier = VerifierMSS
+	if _, err := NewEngine(cfg); err == nil {
+		t.Fatal("NaiveSampling + Verifier=mss must conflict")
+	}
+
+	for _, v := range []string{VerifierMSS, VerifierNaive, VerifierTraversal} {
+		cfg = base()
+		cfg.Verifier = v
+		if _, err := NewEngine(cfg); err != nil {
+			t.Fatalf("verifier %q rejected: %v", v, err)
+		}
+	}
+}
+
+// TestTraversalVerifierEndToEnd: the traversal verifier must run clean
+// through the engine under a stochastic policy — full budgets, no
+// verification errors, and per-iteration accept lengths recorded.
+// Incremental mode must record none.
+func TestTraversalVerifierEndToEnd(t *testing.T) {
+	llm, ssm, reqs := testModels(t, 5, 32)
+	res, iters := run(t, Config{
+		Mode: TreeSpec, LLM: llm, SSMs: []model.Model{ssm},
+		Sample: sampling.StochasticConfig(), Verifier: VerifierTraversal, Seed: 17,
+	}, reqs)
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("req %d failed: %v", i, r.Err)
+		}
+		if len(r.Output) != 32 {
+			t.Fatalf("req %d output len %d, want 32", i, len(r.Output))
+		}
+	}
+	total := 0
+	for _, it := range iters {
+		if len(it.SpecAccepted) != it.BatchSize {
+			t.Fatalf("SpecAccepted len %d != batch size %d", len(it.SpecAccepted), it.BatchSize)
+		}
+		for _, a := range it.SpecAccepted {
+			if a < 0 {
+				t.Fatalf("negative accept length %d without a verification error", a)
+			}
+			total += a
+		}
+	}
+	if total == 0 {
+		t.Fatal("traversal verifier never accepted a speculated token")
+	}
+
+	_, incIters := run(t, Config{Mode: Incremental, LLM: llm, Sample: sampling.StochasticConfig(), Seed: 17}, reqs)
+	for _, it := range incIters {
+		if it.SpecAccepted != nil {
+			t.Fatal("incremental iterations must not record accept lengths")
+		}
+	}
+}

@@ -94,19 +94,25 @@ type serveState struct {
 	clock func() time.Time
 
 	mu         sync.Mutex
-	draining   bool            // guarded by mu
-	stopped    bool            // guarded by mu (scheduler exited; no further sends to admit)
-	started    time.Time       // guarded by mu
-	submitted  uint64          // guarded by mu
-	completed  uint64          // guarded by mu
-	canceled   uint64          // guarded by mu (retired with a context/drain error)
-	rejected   uint64          // guarded by mu (refused at Submit: queue full or draining)
-	iterations uint64          // guarded by mu
-	tokens     uint64          // guarded by mu
-	activeReqs int             // guarded by mu
-	kvBytes    int64           // guarded by mu
-	latency    *metrics.Window // guarded by mu
-	queueDelay *metrics.Window // guarded by mu
+	draining   bool      // guarded by mu
+	stopped    bool      // guarded by mu (scheduler exited; no further sends to admit)
+	started    time.Time // guarded by mu
+	submitted  uint64    // guarded by mu
+	completed  uint64    // guarded by mu
+	canceled   uint64    // guarded by mu (retired with a context/drain error)
+	rejected   uint64    // guarded by mu (refused at Submit: queue full or draining)
+	iterations uint64    // guarded by mu
+	tokens     uint64    // guarded by mu
+	// verifications counts speculative verification passes and
+	// specAccepted the speculated tokens those passes accepted, so
+	// /metricz can report the fleet-visible mean accept length the
+	// verifier choice controls.
+	verifications uint64          // guarded by mu
+	specAccepted  uint64          // guarded by mu
+	activeReqs    int             // guarded by mu
+	kvBytes       int64           // guarded by mu
+	latency       *metrics.Window // guarded by mu
+	queueDelay    *metrics.Window // guarded by mu
 	// recentT/recentC pair (uptime seconds, cumulative committed
 	// tokens) at the last recentThroughputSamples iteration boundaries,
 	// backing the sliding-window throughput figure.
@@ -131,6 +137,15 @@ type ServeStats struct {
 	Submitted, Completed, Canceled, Rejected uint64
 	// Iterations and TokensCommitted accumulate over the Serve lifetime.
 	Iterations, TokensCommitted uint64
+	// SpecVerifications counts speculative verification passes (one per
+	// request per iteration in the speculative modes) and
+	// SpecTokensAccepted the speculated tokens those passes accepted
+	// (committed runs minus bonus tokens, before truncation).
+	// MeanAcceptedLen is their ratio — the mean accept length per
+	// verification, the figure of merit the verifier choice
+	// (Config.Verifier) moves. All zero for incremental decoding.
+	SpecVerifications, SpecTokensAccepted uint64
+	MeanAcceptedLen                       float64
 	// KVBytesActive is the KV-cache storage currently held by active
 	// request sessions (0 when the model does not implement
 	// model.CacheSizer).
@@ -274,7 +289,7 @@ func (e *Engine) Serve(ctx context.Context) error {
 		var still []*reqState
 		for _, st := range active {
 			if st.done {
-				e.finishLive(s, st, nil)
+				e.finishLive(s, st, st.verr)
 			} else {
 				st.live.stream(st.res.Output)
 				still = append(still, st)
@@ -360,23 +375,25 @@ func (e *Engine) ServeStats() ServeStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := ServeStats{
-		Serving:           !s.stopped,
-		Draining:          s.draining,
-		QueueDepth:        len(s.admit),
-		QueueCap:          e.cfg.QueueDepth,
-		ActiveRequests:    s.activeReqs,
-		MaxBatch:          e.cfg.MaxBatch,
-		Submitted:         s.submitted,
-		Completed:         s.completed,
-		Canceled:          s.canceled,
-		Rejected:          s.rejected,
-		Iterations:        s.iterations,
-		TokensCommitted:   s.tokens,
-		KVBytesActive:     s.kvBytes,
-		Latency:           s.latency.Summary(),
-		QueueDelay:        s.queueDelay.Summary(),
-		LatencySamples:    s.latency.Snapshot(),
-		QueueDelaySamples: s.queueDelay.Snapshot(),
+		Serving:            !s.stopped,
+		Draining:           s.draining,
+		QueueDepth:         len(s.admit),
+		QueueCap:           e.cfg.QueueDepth,
+		ActiveRequests:     s.activeReqs,
+		MaxBatch:           e.cfg.MaxBatch,
+		Submitted:          s.submitted,
+		Completed:          s.completed,
+		Canceled:           s.canceled,
+		Rejected:           s.rejected,
+		Iterations:         s.iterations,
+		TokensCommitted:    s.tokens,
+		SpecVerifications:  s.verifications,
+		SpecTokensAccepted: s.specAccepted,
+		KVBytesActive:      s.kvBytes,
+		Latency:            s.latency.Summary(),
+		QueueDelay:         s.queueDelay.Summary(),
+		LatencySamples:     s.latency.Snapshot(),
+		QueueDelaySamples:  s.queueDelay.Snapshot(),
 
 		PrefixCacheEnabled: e.prefix != nil,
 		PrefixCache:        prefix,
@@ -384,6 +401,9 @@ func (e *Engine) ServeStats() ServeStats {
 	st.UptimeSeconds = s.clock().Sub(s.started).Seconds()
 	if st.UptimeSeconds > 0 {
 		st.TokensPerSec = float64(s.tokens) / st.UptimeSeconds
+	}
+	if s.verifications > 0 {
+		st.MeanAcceptedLen = float64(s.specAccepted) / float64(s.verifications)
 	}
 	// Recent throughput: tokens committed since the oldest retained
 	// iteration sample, over the time elapsed since it. The oldest
@@ -593,10 +613,20 @@ func (s *serveState) recordIteration(rec IterationRecord) {
 	for _, c := range rec.Committed {
 		toks += uint64(c)
 	}
+	var verifs, accepted uint64
+	for _, a := range rec.SpecAccepted {
+		if a < 0 {
+			continue // failed verification: no accept length to record
+		}
+		verifs++
+		accepted += uint64(a)
+	}
 	now := s.clock()
 	s.mu.Lock()
 	s.iterations++
 	s.tokens += toks
+	s.verifications += verifs
+	s.specAccepted += accepted
 	s.recentT.Add(now.Sub(s.started).Seconds())
 	s.recentC.Add(float64(s.tokens))
 	s.mu.Unlock()

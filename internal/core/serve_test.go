@@ -797,3 +797,60 @@ func TestServeRecentThroughputTracksCurrentTraffic(t *testing.T) {
 	eng.srv = nil
 	eng.mu.Unlock()
 }
+
+// TestServeSpecAcceptStats: the live path must aggregate verifier
+// accept lengths — verifications counted, mean consistent with the
+// accepted totals, commits bounded by accepted+bonus — and incremental
+// serving must report none.
+func TestServeSpecAcceptStats(t *testing.T) {
+	llm, ssm, reqs := testModels(t, 3, 24)
+	eng, err := NewEngine(Config{
+		Mode: TreeSpec, LLM: llm, SSMs: []model.Model{ssm},
+		Sample: sampling.StochasticConfig(), Verifier: VerifierTraversal,
+		Seed: 41, MaxBatch: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel, done := startServe(t, eng)
+	for i, req := range reqs {
+		_, results, err := eng.Submit(context.Background(), req)
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		if res := mustResult(t, results, 10*time.Second); res.Err != nil {
+			t.Fatalf("req %d: %v", i, res.Err)
+		}
+	}
+	st := eng.ServeStats()
+	waitServeExit(t, cancel, done)
+	if st.SpecVerifications == 0 {
+		t.Fatal("no spec verifications counted on the tree-spec path")
+	}
+	mean := float64(st.SpecTokensAccepted) / float64(st.SpecVerifications)
+	if st.MeanAcceptedLen != mean {
+		t.Fatalf("MeanAcceptedLen %v inconsistent with totals %d/%d", st.MeanAcceptedLen, st.SpecTokensAccepted, st.SpecVerifications)
+	}
+	// Every verification commits its accepted tokens plus one bonus,
+	// minus any budget truncation.
+	if st.TokensCommitted > st.SpecTokensAccepted+st.SpecVerifications {
+		t.Fatalf("committed %d > accepted %d + verifications %d", st.TokensCommitted, st.SpecTokensAccepted, st.SpecVerifications)
+	}
+
+	inc, err := NewEngine(Config{Mode: Incremental, LLM: llm, Sample: sampling.StochasticConfig(), Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel, done = startServe(t, inc)
+	defer waitServeExit(t, cancel, done)
+	_, results, err := inc.Submit(context.Background(), reqs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := mustResult(t, results, 10*time.Second); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if st := inc.ServeStats(); st.SpecVerifications != 0 || st.MeanAcceptedLen != 0 {
+		t.Fatalf("incremental serving reported spec stats: %+v", st)
+	}
+}

@@ -577,9 +577,15 @@ type FleetStats struct {
 	// Aggregate counters summed over replicas.
 	Submitted, Completed, Canceled, Rejected uint64
 	TokensCommitted                          uint64
-	QueueDepth, QueueCap                     int
-	KVBytesActive                            int64
-	TokensPerSec, RecentTokensPerSec         float64
+	// SpecVerifications/SpecTokensAccepted sum the replicas' speculative
+	// verification counters; MeanAcceptedLen is the fleet-wide mean
+	// accept length per verification (recomputed from the sums, not an
+	// average of per-replica means).
+	SpecVerifications, SpecTokensAccepted uint64
+	MeanAcceptedLen                       float64
+	QueueDepth, QueueCap                  int
+	KVBytesActive                         int64
+	TokensPerSec, RecentTokensPerSec      float64
 	// Latency and QueueDelay are fleet-wide quantiles over the pooled
 	// per-replica sample windows, in seconds.
 	Latency, QueueDelay metrics.Summary
@@ -623,6 +629,8 @@ func (r *Router) FleetStats() FleetStats {
 		fs.Canceled += st.Canceled
 		fs.Rejected += st.Rejected
 		fs.TokensCommitted += st.TokensCommitted
+		fs.SpecVerifications += st.SpecVerifications
+		fs.SpecTokensAccepted += st.SpecTokensAccepted
 		fs.QueueDepth += st.QueueDepth
 		fs.QueueCap += st.QueueCap
 		fs.KVBytesActive += st.KVBytesActive
@@ -641,6 +649,9 @@ func (r *Router) FleetStats() FleetStats {
 	}
 	fs.Latency = metrics.Merge(lat...).Summary()
 	fs.QueueDelay = metrics.Merge(qd...).Summary()
+	if fs.SpecVerifications > 0 {
+		fs.MeanAcceptedLen = float64(fs.SpecTokensAccepted) / float64(fs.SpecVerifications)
+	}
 	r.mu.Lock()
 	fs.Rerouted = r.rerouted
 	fs.Shed = r.shed

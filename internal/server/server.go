@@ -418,19 +418,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // metriczResponse is the GET /metricz body.
 type metriczResponse struct {
-	Serving         bool    `json:"serving"`
-	Draining        bool    `json:"draining"`
-	QueueDepth      int     `json:"queue_depth"`
-	QueueCap        int     `json:"queue_cap"`
-	ActiveRequests  int     `json:"active_requests"`
-	MaxBatch        int     `json:"max_batch"`
-	Submitted       uint64  `json:"submitted"`
-	Completed       uint64  `json:"completed"`
-	Canceled        uint64  `json:"canceled"`
-	Rejected        uint64  `json:"rejected"`
-	Iterations      uint64  `json:"iterations"`
-	TokensCommitted uint64  `json:"tokens_committed"`
-	TokensPerSec    float64 `json:"tokens_per_sec"`
+	Serving         bool   `json:"serving"`
+	Draining        bool   `json:"draining"`
+	QueueDepth      int    `json:"queue_depth"`
+	QueueCap        int    `json:"queue_cap"`
+	ActiveRequests  int    `json:"active_requests"`
+	MaxBatch        int    `json:"max_batch"`
+	Submitted       uint64 `json:"submitted"`
+	Completed       uint64 `json:"completed"`
+	Canceled        uint64 `json:"canceled"`
+	Rejected        uint64 `json:"rejected"`
+	Iterations      uint64 `json:"iterations"`
+	TokensCommitted uint64 `json:"tokens_committed"`
+	// SpecVerifications counts speculative verification passes and
+	// MeanAcceptedLen the mean speculated tokens accepted per pass — the
+	// live view of the verifier's accept length (core.Config.Verifier).
+	SpecVerifications uint64  `json:"spec_verifications"`
+	MeanAcceptedLen   float64 `json:"mean_accepted_len"`
+	TokensPerSec      float64 `json:"tokens_per_sec"`
 	// TokensPerSecRecent is the sliding-window throughput over the last
 	// iteration boundaries (RecentWindowSeconds wide): the "current"
 	// rate, where tokens_per_sec is the lifetime average that goes
@@ -526,6 +531,8 @@ func statsToMetricz(st core.ServeStats) metriczResponse {
 		Rejected:            st.Rejected,
 		Iterations:          st.Iterations,
 		TokensCommitted:     st.TokensCommitted,
+		SpecVerifications:   st.SpecVerifications,
+		MeanAcceptedLen:     st.MeanAcceptedLen,
 		TokensPerSec:        st.TokensPerSec,
 		TokensPerSecRecent:  st.RecentTokensPerSec,
 		RecentWindowSeconds: st.RecentWindowSeconds,
@@ -557,8 +564,10 @@ func fleetMetricz(fs router.FleetStats) metriczResponse {
 		QueueDepth: fs.QueueDepth, QueueCap: fs.QueueCap,
 		Submitted: fs.Submitted, Completed: fs.Completed,
 		Canceled: fs.Canceled, Rejected: fs.Rejected,
-		TokensCommitted: fs.TokensCommitted,
-		TokensPerSec:    fs.TokensPerSec, TokensPerSecRecent: fs.RecentTokensPerSec,
+		TokensCommitted:   fs.TokensCommitted,
+		SpecVerifications: fs.SpecVerifications,
+		MeanAcceptedLen:   fs.MeanAcceptedLen,
+		TokensPerSec:      fs.TokensPerSec, TokensPerSecRecent: fs.RecentTokensPerSec,
 		KVBytesActive: fs.KVBytesActive,
 		LatencyMs:     quantilesMs(fs.Latency),
 		QueueDelayMs:  quantilesMs(fs.QueueDelay),

@@ -604,3 +604,50 @@ func TestMetriczRecentThroughputAndPrefixCache(t *testing.T) {
 		}
 	})
 }
+
+// TestMetriczSpecAcceptLen: the accept-length counters must surface on
+// /metricz when serving with speculation — spec_verifications counted
+// and mean_accepted_len consistent — and stay zero under incremental
+// decoding (newTestEnv's default), where no verifier runs.
+func TestMetriczSpecAcceptLen(t *testing.T) {
+	getMetricz := func(t *testing.T, url string) metriczResponse {
+		t.Helper()
+		resp, err := http.Get(url + "/metricz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			if err := resp.Body.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}()
+		var m metriczResponse
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	env := newTestEnv(t, 0, func(cfg *core.Config) {
+		cfg.Mode = core.TreeSpec
+		cfg.SSMs = []model.Model{&stubModel{vocab: 32}}
+	})
+	if _, out := postGenerate(t, env.http.URL, `{"prompt":[2],"max_new_tokens":8}`); out.Error != "" {
+		t.Fatalf("generate failed: %q", out.Error)
+	}
+	m := getMetricz(t, env.http.URL)
+	if m.SpecVerifications == 0 {
+		t.Fatalf("no spec verifications on the tree-spec path: %+v", m)
+	}
+	if m.MeanAcceptedLen < 0 {
+		t.Fatalf("negative mean accepted length: %+v", m)
+	}
+
+	inc := newTestEnv(t, 0, nil)
+	if _, out := postGenerate(t, inc.http.URL, `{"prompt":[2],"max_new_tokens":4}`); out.Error != "" {
+		t.Fatalf("generate failed: %q", out.Error)
+	}
+	if m := getMetricz(t, inc.http.URL); m.SpecVerifications != 0 || m.MeanAcceptedLen != 0 {
+		t.Fatalf("incremental serving reported spec stats: %+v", m)
+	}
+}

@@ -95,41 +95,54 @@ func (t *Tree) NumSpeculated() int { return len(t.Nodes) - 1 }
 // Node returns a pointer to the node with the given id.
 func (t *Tree) Node(id NodeID) *Node { return &t.Nodes[id] }
 
-// AddChild appends a new node labeled tok under parent and returns its id.
+// AddChild appends a node labeled tok under parent and returns its id.
 // ssmProb and ssmID record the proposing SSM's probability and identity.
-// It does NOT merge with an existing equal-token sibling; use AddProposal
-// when duplicates should accumulate.
+// Equal-token siblings are merged: proposing a token that already exists
+// under parent accumulates the draw onto the existing child and returns
+// its id. Token trees therefore never hold duplicate-token children —
+// ChildWithToken-based descent (greedy/naive verification) would silently
+// ignore the later sibling's entire subtree if they did.
 func (t *Tree) AddChild(parent NodeID, tok Token, ssmProb float32, ssmID int) NodeID {
 	return t.AddChildDist(parent, tok, ssmProb, ssmID, nil)
 }
 
 // AddChildDist is AddChild carrying the proposing SSM's full distribution
-// at the parent (required for stochastic verification).
+// at the parent (required for stochastic verification). Like AddChild it
+// merges equal-token siblings, growing the existing child's proposal list.
 func (t *Tree) AddChildDist(parent NodeID, tok Token, ssmProb float32, ssmID int, ssmDist []float32) NodeID {
-	if parent < 0 || parent >= len(t.Nodes) {
-		panic(fmt.Sprintf("tree: AddChild parent %d out of range", parent))
-	}
-	id := len(t.Nodes)
-	t.Nodes = append(t.Nodes, Node{
-		Token:     tok,
-		Parent:    parent,
-		Depth:     t.Nodes[parent].Depth + 1,
-		Proposals: []Proposal{{Prob: ssmProb, SSMID: ssmID, Dist: ssmDist}},
-	})
-	t.Nodes[parent].Children = append(t.Nodes[parent].Children, id)
-	return id
-}
-
-// AddProposal records an SSM draw of tok under parent: if the child
-// already exists its proposal list grows, otherwise the child is created.
-// Returns the child's id.
-func (t *Tree) AddProposal(parent NodeID, tok Token, ssmProb float32, ssmID int, ssmDist []float32) NodeID {
 	if existing := t.ChildWithToken(parent, tok); existing != -1 {
 		n := &t.Nodes[existing]
 		n.Proposals = append(n.Proposals, Proposal{Prob: ssmProb, SSMID: ssmID, Dist: ssmDist})
 		return existing
 	}
+	id := t.addNode(parent, tok)
+	t.Nodes[id].Proposals = []Proposal{{Prob: ssmProb, SSMID: ssmID, Dist: ssmDist}}
+	return id
+}
+
+// AddProposal records an SSM draw of tok under parent: if the child
+// already exists its proposal list grows, otherwise the child is created.
+// Returns the child's id. (Identical to AddChildDist; retained for call
+// sites that emphasize multiset draw accounting.)
+func (t *Tree) AddProposal(parent NodeID, tok Token, ssmProb float32, ssmID int, ssmDist []float32) NodeID {
 	return t.AddChildDist(parent, tok, ssmProb, ssmID, ssmDist)
+}
+
+// addNode appends a fresh node with an empty proposal list. Internal
+// helper for construction paths (Merge, PruneToBudget) that copy proposal
+// multisets verbatim and must not fabricate a placeholder draw.
+func (t *Tree) addNode(parent NodeID, tok Token) NodeID {
+	if parent < 0 || parent >= len(t.Nodes) {
+		panic(fmt.Sprintf("tree: AddChild parent %d out of range", parent))
+	}
+	id := len(t.Nodes)
+	t.Nodes = append(t.Nodes, Node{
+		Token:  tok,
+		Parent: parent,
+		Depth:  t.Nodes[parent].Depth + 1,
+	})
+	t.Nodes[parent].Children = append(t.Nodes[parent].Children, id)
+	return id
 }
 
 // ChildWithToken returns the id of u's child labeled tok, or -1.
@@ -292,7 +305,7 @@ func Merge(trees ...*Tree) *Tree {
 				en.Proposals = append(en.Proposals, n.Proposals...)
 				continue
 			}
-			id := out.AddChild(parentInOut, n.Token, 0, 0)
+			id := out.addNode(parentInOut, n.Token)
 			out.Node(id).Proposals = append([]Proposal(nil), n.Proposals...)
 			corr[u] = id
 		}
@@ -348,7 +361,7 @@ func (t *Tree) PruneToBudget(budget int, score func(NodeID) float64) *Tree {
 			continue
 		}
 		nd := t.Node(u)
-		id := out.AddChild(corr[nd.Parent], nd.Token, 0, 0)
+		id := out.addNode(corr[nd.Parent], nd.Token)
 		out.Node(id).Proposals = append([]Proposal(nil), nd.Proposals...)
 		corr[u] = id
 	}

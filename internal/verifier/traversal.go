@@ -1,0 +1,230 @@
+// Traversal verification (Weng et al., "Traversal Verification for
+// Speculative Tree Decoding"): a third lossless verifier that accepts
+// leaf-to-root *subsequences* instead of MSS's root-to-leaf token-by-token
+// walk. MSS discards a whole subtree the moment one token rejects, even
+// when the joint probability of the full path under the target is high;
+// traversal verification first offers the deepest candidate chain as one
+// unit, then retreats toward the root one level at a time, so a deep chain
+// can be committed in a single coin flip. On the same speculated tree its
+// expected accepted length is >= MSS's (strictly higher whenever a chain
+// re-accept is possible), and the committed sequence still follows exactly
+// the target distribution.
+//
+// Acceptance rule, for one candidate chain v_0..v_m (v_0 a draft at the
+// current node u, each deeper v_j the longest-path-first draft at
+// v_{j-1}), with target p_0 = current residual target at u and
+// p_j = policy(LLM dist at v_{j-1}) for j >= 1, proposals q_j and tokens
+// x_j:
+//
+//	ratio  r_j = p_j(x_j) / q_j(x_j)
+//	carry  w_0 = min(1, r_0),  w_j = min(1, w_{j-1} * r_j)
+//
+// One coin accepts the full chain with probability w_m (committing
+// v_0..v_m and leaving a bonus sample at v_m). If it fails, stop coins run
+// leaf-to-root for i = m-1 .. 0: with residual
+//
+//	rho_i(t) = (w_i * p_{i+1}(t) - q_{i+1}(t))_+ ,  resid_i = sum_t rho_i(t)
+//
+// the chain prefix v_0..v_i is committed with conditional probability
+// gamma_i = resid_i / (1 - w_i + resid_i), and verification continues at
+// v_i with target norm(rho_i) and v_i's remaining drafts (the consumed
+// chain draft removed). If every coin fails the entry draft v_0 is
+// rejected exactly as in MSS: the target gets the standard residual update
+// and the next draft at u is tried.
+//
+// Losslessness: E_{x_{i+1}~q_{i+1}}[w_{i+1}] = sum_t min(q_{i+1}(t),
+// w_i p_{i+1}(t)) =: s_i, and the acceptance cascade nests as
+// f_i = f_{i+1} + (1 - f_{i+1}) gamma_i, which telescopes to E[f_i] = w_i
+// for every level — so the probability that v_0 commits is exactly
+// min(1, r_0), MSS's acceptance probability, and at each deeper level the
+// committed-token mass splits as min(q(t), w_i p(t)) (deep accept) plus
+// (w_i p(t) - q(t))_+ (stop-then-resample), summing to w_i p(t) exactly.
+// A width-1 chain of length 1 degenerates to MSS verbatim. The package
+// tests check preservation empirically with the same adversarial
+// multi-seed total-variation harness used for MSS.
+package verifier
+
+import (
+	"sort"
+
+	"specinfer/internal/model"
+	"specinfer/internal/sampling"
+	"specinfer/internal/tensor"
+	"specinfer/internal/tree"
+)
+
+// draftRef identifies one SSM draw: the proposed child node and the index
+// of the draw within that node's proposal multiset.
+type draftRef struct {
+	node tree.NodeID
+	idx  int
+	prop tree.Proposal
+}
+
+// subtreeDepths returns, for every node, the maximum number of edges on any
+// downward path from it (0 for leaves). Storage order puts parents before
+// children, so one reverse pass suffices.
+func subtreeDepths(tr *tree.Tree) []int {
+	depth := make([]int, tr.Len())
+	for id := tr.Len() - 1; id > 0; id-- {
+		p := tr.Node(id).Parent
+		if d := depth[id] + 1; d > depth[p] {
+			depth[p] = d
+		}
+	}
+	return depth
+}
+
+// orderedDrafts flattens node u's children x proposals into traversal
+// order: drafts whose child roots the deepest subtree come first
+// (longest-path-first), ties broken by node id then proposal index, so the
+// order is deterministic for a given tree.
+func orderedDrafts(tr *tree.Tree, u tree.NodeID, depthBelow []int) []draftRef {
+	var h []draftRef
+	for _, c := range tr.Node(u).Children {
+		for i, pr := range tr.Node(c).Proposals {
+			h = append(h, draftRef{node: c, idx: i, prop: pr})
+		}
+	}
+	sort.SliceStable(h, func(a, b int) bool {
+		if depthBelow[h[a].node] != depthBelow[h[b].node] {
+			return depthBelow[h[a].node] > depthBelow[h[b].node]
+		}
+		if h[a].node != h[b].node {
+			return h[a].node < h[b].node
+		}
+		return h[a].idx < h[b].idx
+	})
+	return h
+}
+
+// VerifyTraversal verifies the speculated tree by leaf-to-root subsequence
+// acceptance (see the file comment for the rule and its losslessness
+// argument). Like VerifyStochastic it returns the committed tokens plus
+// one final token sampled from the last target, and requires every
+// proposal to carry its SSM distribution.
+func VerifyTraversal(dists [][]float32, tr *tree.Tree, policy sampling.Config, rng *tensor.RNG) ([]model.Token, error) {
+	depthBelow := subtreeDepths(tr)
+	var verified []model.Token
+	u := tr.Root()
+	d := policy.Transform(dists[u]) // fresh copy; mutated by residual updates
+	h := orderedDrafts(tr, u, depthBelow)
+	for {
+		if len(h) == 0 {
+			// No drafts left at u: emit one sample from the current
+			// target (the bonus token after a full accept, or the final
+			// residual after exhausting every draft).
+			verified = append(verified, rng.SampleCategorical(d))
+			return verified, nil
+		}
+		// Candidate chain v_0..v_m: the first (longest-path-first) draft
+		// at u, extended by the first draft at each deeper node until a
+		// node with no drafts.
+		chain := []draftRef{h[0]}
+		for {
+			next := orderedDrafts(tr, chain[len(chain)-1].node, depthBelow)
+			if len(next) == 0 {
+				break
+			}
+			chain = append(chain, next[0])
+		}
+		m := len(chain) - 1
+
+		// Targets p_j and carries w_j along the chain.
+		targets := make([][]float32, m+1)
+		targets[0] = d
+		w := make([]float64, m+1)
+		carry := 1.0
+		for j := 0; j <= m; j++ {
+			if j > 0 {
+				targets[j] = policy.Transform(dists[chain[j-1].node])
+			}
+			q := chain[j].prop.Dist
+			x := tr.Node(chain[j].node).Token
+			if q == nil {
+				return nil, &MissingDistError{Node: chain[j].node, Token: x}
+			}
+			qx, px := float64(q[x]), float64(targets[j][x])
+			if qx <= 0 || px <= 0 {
+				carry = 0
+			} else {
+				carry *= px / qx
+				if carry > 1 {
+					carry = 1
+				}
+			}
+			w[j] = carry
+		}
+
+		// Full-chain coin: commit v_0..v_m with probability w_m. The
+		// deepest chain node has no drafts, so the next outer iteration
+		// emits the bonus token from its own LLM distribution.
+		if rng.Float64() < w[m] {
+			for _, cr := range chain {
+				verified = append(verified, tr.Node(cr.node).Token)
+			}
+			u = chain[m].node
+			d = policy.Transform(dists[u])
+			h = nil
+			continue
+		}
+
+		// Stop coins, leaf to root: commit v_0..v_i with conditional
+		// probability gamma_i and continue at v_i with target norm(rho_i).
+		stopped := false
+		for i := m - 1; i >= 0; i-- {
+			q := chain[i+1].prop.Dist
+			pnext := targets[i+1]
+			var sum float64 // resid_i
+			for t := range pnext {
+				if r := w[i]*float64(pnext[t]) - float64(q[t]); r > 0 {
+					sum += r
+				}
+			}
+			if sum <= 0 {
+				continue // gamma_i = 0: this level cannot stop
+			}
+			denom := 1 - w[i] + sum // = 1 - s_i
+			if denom <= 0 {
+				continue
+			}
+			if rng.Float64() >= sum/denom {
+				continue
+			}
+			for j := 0; j <= i; j++ {
+				verified = append(verified, tr.Node(chain[j].node).Token)
+			}
+			u = chain[i].node
+			// New target: norm(rho_i), normalized by the float64 residual
+			// sum so a tiny residual cannot underflow into Normalize's
+			// uniform-over-vocab fallback.
+			rho := make([]float32, len(pnext))
+			for t := range pnext {
+				if r := w[i]*float64(pnext[t]) - float64(q[t]); r > 0 {
+					rho[t] = float32(r / sum)
+				}
+			}
+			d = rho
+			// v_i's drafts, minus the chain draft the stop coin consumed.
+			var nh []draftRef
+			consumed := false
+			for _, dr := range orderedDrafts(tr, u, depthBelow) {
+				if !consumed && dr.node == chain[i+1].node && dr.idx == chain[i+1].idx {
+					consumed = true
+					continue
+				}
+				nh = append(nh, dr)
+			}
+			h = nh
+			stopped = true
+			break
+		}
+		if stopped {
+			continue
+		}
+
+		// Every coin failed: reject the entry draft exactly as MSS does.
+		residualUpdate(d, chain[0].prop.Dist)
+		h = h[1:]
+	}
+}

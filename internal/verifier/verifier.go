@@ -13,11 +13,27 @@
 package verifier
 
 import (
+	"fmt"
+
 	"specinfer/internal/model"
 	"specinfer/internal/sampling"
 	"specinfer/internal/tensor"
 	"specinfer/internal/tree"
 )
+
+// MissingDistError reports a speculated node whose proposal carries no SSM
+// distribution. Stochastic verifiers need the full proposal distribution
+// for the acceptance ratio and residual update; a tree built for greedy
+// verification (nil Dist) fed to a stochastic verifier is a caller bug,
+// surfaced as an error so one malformed request cannot kill a replica.
+type MissingDistError struct {
+	Node  tree.NodeID
+	Token model.Token
+}
+
+func (e *MissingDistError) Error() string {
+	return fmt.Sprintf("verifier: stochastic verification requires proposal distributions on speculated nodes (node %d, token %d has none)", e.Node, e.Token)
+}
 
 // VerifyGreedy implements Algorithm 2's VerifyGreedy: descend the tree
 // while a child matches the LLM's argmax token, then append the argmax at
@@ -50,7 +66,7 @@ func VerifyGreedy(dists [][]float32, tr *tree.Tree) []model.Token {
 // policy is the request's decode policy; both the LLM distributions and
 // the stored SSM proposals must be expressed under it (the speculator
 // stores policy-transformed proposals).
-func VerifyStochastic(dists [][]float32, tr *tree.Tree, policy sampling.Config, rng *tensor.RNG) []model.Token {
+func VerifyStochastic(dists [][]float32, tr *tree.Tree, policy sampling.Config, rng *tensor.RNG) ([]model.Token, error) {
 	var verified []model.Token
 	u := tr.Root()
 	for !tr.IsLeaf(u) {
@@ -75,29 +91,21 @@ func VerifyStochastic(dists [][]float32, tr *tree.Tree, policy sampling.Config, 
 			x := tr.Node(s.node).Token
 			q := s.prop.Dist
 			if q == nil {
-				panic("verifier: stochastic verification requires proposal distributions on speculated nodes")
+				return nil, &MissingDistError{Node: s.node, Token: x}
 			}
 			qx := float64(q[x])
 			if qx > 0 && acceptDraft(rng.Float64(), float64(p[x]), qx) {
 				accepted = s.node
 				break
 			}
-			// Residual update: p <- norm(max(0, p - q)).
-			for i := range p {
-				r := p[i] - q[i]
-				if r < 0 {
-					r = 0
-				}
-				p[i] = r
-			}
-			tensor.Normalize(p)
+			residualUpdate(p, q)
 			h[si] = h[len(h)-1]
 			h = h[:len(h)-1]
 		}
 		if accepted == -1 {
 			// All speculated children rejected: sample from the residual.
 			verified = append(verified, rng.SampleCategorical(p))
-			return verified
+			return verified, nil
 		}
 		verified = append(verified, tr.Node(accepted).Token)
 		u = accepted
@@ -105,7 +113,39 @@ func VerifyStochastic(dists [][]float32, tr *tree.Tree, policy sampling.Config, 
 	// Reached a leaf with every token accepted: bonus token from the
 	// leaf's own LLM distribution.
 	verified = append(verified, policy.Sample(rng, dists[u]))
-	return verified
+	return verified, nil
+}
+
+// residualUpdate applies MSS's rejection update in place:
+// p <- norm(max(0, p - q)). When the residual cancels to zero everywhere —
+// reachable when float32 normalization drift leaves q's mass >= p's over
+// p's whole support — p is left unchanged rather than normalized. The old
+// code let tensor.Normalize's zero-sum fallback replace p with uniform
+// over the FULL vocab, leaking probability onto tokens the decode policy
+// (top-k/top-p) had zeroed out; keeping p confines every later sample to
+// the policy's support. (A zero residual means q dominates p, so rejecting
+// and resampling from p itself is the distribution-faithful degenerate
+// continuation.)
+func residualUpdate(p, q []float32) {
+	var sum float64
+	for i := range p {
+		r := p[i] - q[i]
+		if r < 0 {
+			r = 0
+		}
+		sum += float64(r)
+	}
+	if sum <= 0 {
+		return
+	}
+	for i := range p {
+		r := p[i] - q[i]
+		if r < 0 {
+			r = 0
+		}
+		p[i] = r
+	}
+	tensor.Normalize(p)
 }
 
 // acceptDraft is MSS's per-draft acceptance test: a draft token with
@@ -141,9 +181,9 @@ func VerifyNaive(dists [][]float32, tr *tree.Tree, policy sampling.Config, rng *
 
 // Verify dispatches on the policy mode: greedy policies use VerifyGreedy,
 // stochastic ones use MSS.
-func Verify(dists [][]float32, tr *tree.Tree, policy sampling.Config, rng *tensor.RNG) []model.Token {
+func Verify(dists [][]float32, tr *tree.Tree, policy sampling.Config, rng *tensor.RNG) ([]model.Token, error) {
 	if policy.Mode == sampling.Greedy {
-		return VerifyGreedy(dists, tr)
+		return VerifyGreedy(dists, tr), nil
 	}
 	return VerifyStochastic(dists, tr, policy, rng)
 }
