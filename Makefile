@@ -45,11 +45,12 @@ serve:
 servesmoke:
 	./scripts/servesmoke.sh
 
-# Full measurement run with a pinned benchtime; writes BENCH_PR9.json
+# Full measurement run with a pinned benchtime; writes BENCH_PR10.json
 # (benchmark -> ns/op, ns/token, allocs/op, plus paged-vs-slice,
 # paged-vs-reference, batched-vs-reference, prefix-cache warm-vs-cold,
-# quantized-vs-float, router affinity-vs-blind, and verifier
-# traversal-vs-MSS accept-length comparisons, with host provenance) at
-# the repo root. Compare two reports with `go run ./cmd/benchdiff`.
+# quantized-vs-float, router affinity-vs-blind, verifier traversal-vs-MSS
+# accept-length, and speculation-policy adaptive-vs-static tokens/sec and
+# p99 comparisons, with host provenance) at the repo root. Compare two
+# reports with `go run ./cmd/benchdiff`.
 bench:
-	$(GO) run ./cmd/perfbench -benchtime 1s -o BENCH_PR9.json
+	$(GO) run ./cmd/perfbench -benchtime 1s -o BENCH_PR10.json

@@ -33,6 +33,11 @@ type Result struct {
 	// AcceptLen is the deterministic mean accepted speculated tokens per
 	// verification, present only on verifier/accept-length scenarios.
 	AcceptLen float64 `json:"accept_len,omitempty"`
+	// TokensPerSec and P99Ms surface live-serving scenario metrics
+	// reported via b.ReportMetric (the policy/bursty/* sweep): end-to-end
+	// decode throughput and p99 request latency.
+	TokensPerSec float64 `json:"tokens_per_sec,omitempty"`
+	P99Ms        float64 `json:"p99_ms,omitempty"`
 }
 
 // Speedup compares a batched benchmark against its reference twin.
@@ -45,6 +50,80 @@ type Speedup struct {
 	// only when both report the metric (the traversal-vs-MSS pairs; the
 	// PR 9 gate is gain >= 1.0 on every dataset).
 	AcceptLenGain float64 `json:"accept_len_gain,omitempty"`
+	// TokensPerSecGain and P99Ratio compare live-serving scenarios,
+	// present only when both sides report the metrics. P99Ratio is the
+	// new path's p99 over the reference's — <= 1 means equal-or-better
+	// tail latency (the PR 10 gate: gain >= 1.2 with ratio <= 1 for
+	// policy/bursty adaptive vs the best static shape).
+	TokensPerSecGain float64 `json:"tokens_per_sec_gain,omitempty"`
+	P99Ratio         float64 `json:"p99_ratio,omitempty"`
+}
+
+// deriveSpeedup computes the guarded comparison ratios between a
+// new-path result and its reference twin. Every ratio divides by a
+// measured quantity that is legitimately zero on unexercised paths
+// (zero allocations, metric absent from the scenario), so each is
+// emitted only when its denominator is positive — never NaN/Inf.
+func deriveSpeedup(name, ref string, b, r Result) Speedup {
+	sp := Speedup{Batched: name, Reference: ref}
+	if b.NsPerOp > 0 {
+		sp.TimeSpeedup = r.NsPerOp / b.NsPerOp
+	}
+	if b.AllocsPerOp > 0 {
+		sp.AllocReduction = float64(r.AllocsPerOp) / float64(b.AllocsPerOp)
+	}
+	if b.AcceptLen > 0 && r.AcceptLen > 0 {
+		sp.AcceptLenGain = b.AcceptLen / r.AcceptLen
+	}
+	if b.TokensPerSec > 0 && r.TokensPerSec > 0 {
+		sp.TokensPerSecGain = b.TokensPerSec / r.TokensPerSec
+	}
+	if b.P99Ms > 0 && r.P99Ms > 0 {
+		sp.P99Ratio = b.P99Ms / r.P99Ms
+	}
+	return sp
+}
+
+// pairing maps one comparison: the Speedups key and the reference
+// benchmark it compares against.
+type pairing struct{ key, ref string }
+
+// pairingsFor returns the comparisons a benchmark name participates in
+// as the new path, or nil when the name is a baseline. The paged
+// long-context and policy bursty benchmarks get two comparisons each.
+func pairingsFor(name string) []pairing {
+	switch {
+	case strings.HasSuffix(name, "/batched"):
+		base := strings.TrimSuffix(name, "/batched")
+		return []pairing{{base, base + "/ref"}}
+	case strings.HasSuffix(name, "/parallel"):
+		base := strings.TrimSuffix(name, "/parallel")
+		return []pairing{{base, base + "/serial-ref"}}
+	case strings.HasSuffix(name, "/paged"):
+		base := strings.TrimSuffix(name, "/paged")
+		return []pairing{
+			{base + "/vs-slice", base + "/slice"},
+			{base + "/vs-ref", base + "/ref"}}
+	case strings.HasSuffix(name, "/warm"):
+		base := strings.TrimSuffix(name, "/warm")
+		return []pairing{{base, base + "/cold"}}
+	case strings.HasSuffix(name, "/quant"):
+		base := strings.TrimSuffix(name, "/quant")
+		return []pairing{{base, base + "/float"}}
+	case strings.HasSuffix(name, "/affinity"):
+		base := strings.TrimSuffix(name, "/affinity")
+		return []pairing{{base, base + "/blind"}}
+	case strings.HasSuffix(name, "/traversal"):
+		base := strings.TrimSuffix(name, "/traversal")
+		return []pairing{{base, base + "/mss"}}
+	case strings.HasSuffix(name, "/adaptive"):
+		base := strings.TrimSuffix(name, "/adaptive")
+		return []pairing{
+			{base + "/vs-deep", base + "/static-deep"},
+			{base + "/vs-narrow", base + "/static-narrow"}}
+	default:
+		return nil
+	}
 }
 
 // Report is the top-level JSON document.
@@ -82,6 +161,7 @@ func main() {
 	benchtime := flag.String("benchtime", "0.3s", "per-benchmark run time (test.benchtime syntax, e.g. 0.3s or 10x)")
 	variant := flag.String("variant", "", "restrict the suite to one variant's scenarios (e.g. 'quantized' runs only the quantized-vs-float longctx sweep)")
 	verifierSel := flag.String("verifier", "", "restrict the verifier/accept-length scenarios to one verifier (mss or traversal); other scenarios are dropped")
+	policyOnly := flag.Bool("policy", false, "restrict the suite to the policy/ live-serving scenarios (bursty adaptive-vs-static sweep)")
 	out := flag.String("o", "", "output JSON path (required)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the suite run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
@@ -137,6 +217,15 @@ func main() {
 		}
 		suite = kept
 	}
+	if *policyOnly {
+		var kept []bench.PerfBenchmark
+		for _, pb := range suite {
+			if strings.HasPrefix(pb.Name, "policy/") {
+				kept = append(kept, pb)
+			}
+		}
+		suite = kept
+	}
 	if *verifierSel != "" {
 		if *verifierSel != "mss" && *verifierSel != "traversal" {
 			fmt.Fprintf(os.Stderr, "perfbench: unknown verifier %q (want mss or traversal)\n", *verifierSel)
@@ -154,12 +243,14 @@ func main() {
 		r := testing.Benchmark(pb.Run)
 		nsOp := float64(r.T.Nanoseconds()) / float64(r.N)
 		res := Result{
-			Iterations:  r.N,
-			NsPerOp:     nsOp,
-			NsPerToken:  nsOp / pb.TokensPerOp,
-			AllocsPerOp: uint64(r.AllocsPerOp()),
-			BytesPerOp:  uint64(r.AllocedBytesPerOp()),
-			AcceptLen:   r.Extra["accept-len"],
+			Iterations:   r.N,
+			NsPerOp:      nsOp,
+			NsPerToken:   nsOp / pb.TokensPerOp,
+			AllocsPerOp:  uint64(r.AllocsPerOp()),
+			BytesPerOp:   uint64(r.AllocedBytesPerOp()),
+			AcceptLen:    r.Extra["accept-len"],
+			TokensPerSec: r.Extra["tok/s"],
+			P99Ms:        r.Extra["p99-ms"],
 		}
 		rep.Benchmarks[pb.Name] = res
 		extra := ""
@@ -174,56 +265,22 @@ func main() {
 	// long-context benchmarks get two comparisons: vs the slice cache
 	// (isolates the layout change) and vs the scalar reference (cumulative).
 	for _, pb := range suite {
-		type pairing struct{ key, ref string }
-		var pairs []pairing
-		switch {
-		case strings.HasSuffix(pb.Name, "/batched"):
-			base := strings.TrimSuffix(pb.Name, "/batched")
-			pairs = append(pairs, pairing{base, base + "/ref"})
-		case strings.HasSuffix(pb.Name, "/parallel"):
-			base := strings.TrimSuffix(pb.Name, "/parallel")
-			pairs = append(pairs, pairing{base, base + "/serial-ref"})
-		case strings.HasSuffix(pb.Name, "/paged"):
-			base := strings.TrimSuffix(pb.Name, "/paged")
-			pairs = append(pairs,
-				pairing{base + "/vs-slice", base + "/slice"},
-				pairing{base + "/vs-ref", base + "/ref"})
-		case strings.HasSuffix(pb.Name, "/warm"):
-			base := strings.TrimSuffix(pb.Name, "/warm")
-			pairs = append(pairs, pairing{base, base + "/cold"})
-		case strings.HasSuffix(pb.Name, "/quant"):
-			base := strings.TrimSuffix(pb.Name, "/quant")
-			pairs = append(pairs, pairing{base, base + "/float"})
-		case strings.HasSuffix(pb.Name, "/affinity"):
-			base := strings.TrimSuffix(pb.Name, "/affinity")
-			pairs = append(pairs, pairing{base, base + "/blind"})
-		case strings.HasSuffix(pb.Name, "/traversal"):
-			base := strings.TrimSuffix(pb.Name, "/traversal")
-			pairs = append(pairs, pairing{base, base + "/mss"})
-		default:
-			continue
-		}
 		b, okB := rep.Benchmarks[pb.Name]
 		if !okB {
 			continue
 		}
-		for _, p := range pairs {
+		for _, p := range pairingsFor(pb.Name) {
 			r, okR := rep.Benchmarks[p.ref]
 			if !okR {
 				continue
 			}
-			sp := Speedup{Batched: pb.Name, Reference: p.ref}
-			if b.NsPerOp > 0 {
-				sp.TimeSpeedup = r.NsPerOp / b.NsPerOp
-			}
-			if b.AllocsPerOp > 0 {
-				sp.AllocReduction = float64(r.AllocsPerOp) / float64(b.AllocsPerOp)
-			}
-			if b.AcceptLen > 0 && r.AcceptLen > 0 {
-				sp.AcceptLenGain = b.AcceptLen / r.AcceptLen
-			}
+			sp := deriveSpeedup(pb.Name, p.ref, b, r)
 			rep.Speedups[p.key] = sp
-			fmt.Printf("%-40s %.2fx time, %.2fx allocs vs %s\n", p.key, sp.TimeSpeedup, sp.AllocReduction, p.ref)
+			extra := ""
+			if sp.TokensPerSecGain > 0 {
+				extra = fmt.Sprintf(", %.2fx tok/s, %.2fx p99", sp.TokensPerSecGain, sp.P99Ratio)
+			}
+			fmt.Printf("%-40s %.2fx time, %.2fx allocs%s vs %s\n", p.key, sp.TimeSpeedup, sp.AllocReduction, extra, p.ref)
 		}
 	}
 

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestDeriveSpeedupZeroGuards: every derived ratio divides by a field
+// that is legitimately zero on some paths (zero-alloc hot loops, a
+// metric the scenario doesn't report, a benchmark too fast to time) —
+// the ratio must then be omitted (zero), never NaN/Inf, and the report
+// must stay marshalable (encoding/json rejects non-finite floats).
+func TestDeriveSpeedupZeroGuards(t *testing.T) {
+	cases := []struct {
+		name string
+		b, r Result
+		want Speedup
+	}{
+		{
+			name: "all zero",
+			b:    Result{}, r: Result{},
+			want: Speedup{},
+		},
+		{
+			name: "zero allocs on the new path",
+			b:    Result{NsPerOp: 100},
+			r:    Result{NsPerOp: 400, AllocsPerOp: 12},
+			want: Speedup{TimeSpeedup: 4},
+		},
+		{
+			name: "accept length on one side only",
+			b:    Result{NsPerOp: 100, AcceptLen: 2.5},
+			r:    Result{NsPerOp: 100},
+			want: Speedup{TimeSpeedup: 1},
+		},
+		{
+			name: "live metrics on both sides",
+			b:    Result{NsPerOp: 100, TokensPerSec: 1200, P99Ms: 80},
+			r:    Result{NsPerOp: 100, TokensPerSec: 1000, P99Ms: 100},
+			want: Speedup{TimeSpeedup: 1, TokensPerSecGain: 1.2, P99Ratio: 0.8},
+		},
+		{
+			name: "live metrics on the reference only",
+			b:    Result{NsPerOp: 100},
+			r:    Result{NsPerOp: 100, TokensPerSec: 1000, P99Ms: 100},
+			want: Speedup{TimeSpeedup: 1},
+		},
+	}
+	for _, tc := range cases {
+		got := deriveSpeedup("new", "ref", tc.b, tc.r)
+		tc.want.Batched, tc.want.Reference = "new", "ref"
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: got %+v, want %+v", tc.name, got, tc.want)
+		}
+		for _, v := range []float64{got.TimeSpeedup, got.AllocReduction,
+			got.AcceptLenGain, got.TokensPerSecGain, got.P99Ratio} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: non-finite ratio %v in %+v", tc.name, v, got)
+			}
+		}
+		if _, err := json.Marshal(got); err != nil {
+			t.Fatalf("%s: speedup not marshalable: %v", tc.name, err)
+		}
+	}
+}
+
+// TestPairingsFor: suffix routing covers every new-path variant, sends
+// baselines nowhere, and gives the policy bursty scenario both static
+// references.
+func TestPairingsFor(t *testing.T) {
+	if p := pairingsFor("engine/iter/b4/ref"); p != nil {
+		t.Fatalf("baseline paired: %+v", p)
+	}
+	p := pairingsFor("policy/bursty/adaptive")
+	want := []pairing{
+		{"policy/bursty/vs-deep", "policy/bursty/static-deep"},
+		{"policy/bursty/vs-narrow", "policy/bursty/static-narrow"},
+	}
+	if !reflect.DeepEqual(p, want) {
+		t.Fatalf("adaptive pairings: got %+v, want %+v", p, want)
+	}
+	if p := pairingsFor("verifier/accept-length/cnn/traversal"); len(p) != 1 ||
+		p[0].ref != "verifier/accept-length/cnn/mss" {
+		t.Fatalf("traversal pairing wrong: %+v", p)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"specinfer/internal/core"
 	"specinfer/internal/gpu"
 	"specinfer/internal/model"
+	"specinfer/internal/policy"
 	"specinfer/internal/sampling"
 	"specinfer/internal/speculator"
 	"specinfer/internal/tokenizer"
@@ -47,6 +48,7 @@ func main() {
 		topK       = flag.Int("topk", 0, "top-k sampling filter, 0 disables")
 		topP       = flag.Float64("topp", 0, "nucleus sampling mass, 0 disables")
 		adaptive   = flag.Bool("adaptive", false, "dynamic best-first tree expansion")
+		policyOn   = flag.Bool("policy", false, "per-request, per-iteration speculation policy (tree mode; picks tree shape and SSM count from measured accept rate, queue depth and batch occupancy)")
 		ssms       = flag.Int("ssms", 1, "SSM pool size (merge-based speculation if >1)")
 		variant    = flag.String("variant", "", "LLM execution variant: paged|slice|reference|quantized (switches to the transformer substrate; empty = calibrated n-gram substrate)")
 		seed       = flag.Uint64("seed", 1, "engine seed")
@@ -115,6 +117,9 @@ func main() {
 	}
 	if *adaptive {
 		cfg.Adaptive = &speculator.AdaptiveConfig{MaxNodes: *width * 3, MaxDepth: *depth}
+	}
+	if *policyOn {
+		cfg.Policy = &policy.Config{}
 	}
 	switch *mode {
 	case "incremental":
@@ -204,6 +209,18 @@ func main() {
 	}
 	fmt.Printf("\ntotal: %d tokens in %d steps (%.2f tokens/step)\n",
 		totalTokens, totalSteps, float64(totalTokens)/float64(totalSteps))
+	if *policyOn {
+		var lat, thr int
+		for _, it := range iters {
+			switch it.PolicyMode {
+			case policy.Latency.String():
+				lat++
+			case policy.Throughput.String():
+				thr++
+			}
+		}
+		fmt.Printf("policy: %d latency-mode / %d throughput-mode iterations\n", lat, thr)
+	}
 	fmt.Printf("wall clock: %d tokens in %.3fs — %.0f tokens/sec (workers=%d)\n",
 		totalTokens, elapsed.Seconds(), float64(totalTokens)/elapsed.Seconds(), cfg.Workers)
 

@@ -33,6 +33,7 @@ import (
 	"specinfer/internal/bench"
 	"specinfer/internal/core"
 	"specinfer/internal/model"
+	specpolicy "specinfer/internal/policy"
 	"specinfer/internal/router"
 	"specinfer/internal/sampling"
 	"specinfer/internal/server"
@@ -55,6 +56,7 @@ func main() {
 		topK       = flag.Int("topk", 0, "top-k sampling filter, 0 disables")
 		topP       = flag.Float64("topp", 0, "nucleus sampling mass, 0 disables")
 		adaptive   = flag.Bool("adaptive", false, "dynamic best-first tree expansion")
+		policyOn   = flag.Bool("policy", false, "per-request, per-iteration speculation policy (tree mode; picks tree shape and SSM count from measured accept rate, queue depth and batch occupancy; surfaced in /metricz)")
 		ssms       = flag.Int("ssms", 1, "SSM pool size (merge-based speculation if >1)")
 		variant    = flag.String("variant", "", "LLM execution variant: paged|slice|reference|quantized (switches to the transformer substrate; empty = calibrated n-gram substrate)")
 		seed       = flag.Uint64("seed", 1, "engine seed")
@@ -129,6 +131,9 @@ func main() {
 	}
 	if *adaptive {
 		cfg.Adaptive = &speculator.AdaptiveConfig{MaxNodes: *width * 3, MaxDepth: *depth}
+	}
+	if *policyOn {
+		cfg.Policy = &specpolicy.Config{}
 	}
 	switch *mode {
 	case "incremental":

@@ -535,6 +535,14 @@ func PerfSuite() []PerfBenchmark {
 	// verification, traversal vs MSS on identical instances (gate:
 	// traversal's accept-len >= MSS's on every Table-1 dataset).
 	out = append(out, AcceptLenSuite()...)
+	// PR 10 tentpole scenario: adaptive per-iteration speculation policy
+	// vs the best static tree shape on a bursty arrival trace, scored on
+	// the A10 co-simulation clock (gate: adaptive >= 1.2x tokens/sec at
+	// equal-or-better p99 vs BOTH statics). 5376 = 3 rounds x (48 burst +
+	// 8 trickle) requests x 32 new tokens.
+	for _, shape := range []string{"adaptive", "static-deep", "static-narrow"} {
+		add("policy/bursty/"+shape, 5376, policyBurstyBench(shape))
+	}
 	return out
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"specinfer/internal/kvcache"
 	"specinfer/internal/model"
+	"specinfer/internal/policy"
 	"specinfer/internal/sampling"
 	"specinfer/internal/speculator"
 	"specinfer/internal/tensor"
@@ -124,6 +125,16 @@ type Config struct {
 	// work; see speculator.AdaptiveConfig). TreeSpec mode only; uses the
 	// first SSM of the pool.
 	Adaptive *speculator.AdaptiveConfig
+	// Policy, when non-nil, enables the per-request, per-iteration
+	// speculation policy engine (see internal/policy): each iteration
+	// the controller picks every request's tree budget and SSM count
+	// from its measured accept-length EWMA, the admission-queue depth,
+	// and batch occupancy — deep trees when the batch is underfull
+	// (latency mode), narrow speculation when verification is contended
+	// (throughput mode). TreeSpec mode only; conflicts with Adaptive
+	// (the policy already drives the adaptive grower, with a moving
+	// budget).
+	Policy *policy.Config
 
 	// PrefixCacheBytes, when positive, enables the cross-request prefix
 	// KV cache: admissions look up the longest cached prefix of their
@@ -243,6 +254,14 @@ func (c Config) validate() error {
 	if c.NaiveSampling && c.Verifier != VerifierNaive {
 		return fmt.Errorf("core: NaiveSampling conflicts with Verifier=%q; pick one", c.Verifier)
 	}
+	if c.Policy != nil {
+		if c.Mode != TreeSpec {
+			return fmt.Errorf("core: Policy requires TreeSpec mode, got %v", c.Mode)
+		}
+		if c.Adaptive != nil {
+			return fmt.Errorf("core: Policy conflicts with Adaptive (the policy already drives the adaptive grower); pick one")
+		}
+	}
 	if msg := c.Expansion.Validate(); msg != "" {
 		return fmt.Errorf("core: %s", msg)
 	}
@@ -333,6 +352,20 @@ type IterationRecord struct {
 	// SpecSteps is the number of SSM decoding levels used to build the
 	// trees (0 for incremental).
 	SpecSteps int
+	// PolicyMode is the speculation policy's mode this iteration
+	// ("latency" or "throughput"); empty when the policy engine is
+	// disabled. The mode is batch-global — its inputs (queue depth,
+	// batch occupancy) are shared by every request of the iteration.
+	PolicyMode string
+	// PolicyNodes[i] is the speculated-node budget the policy granted
+	// the i-th active request this iteration (scaled by the request's
+	// accept-length EWMA within the mode's ceiling). Nil when the
+	// policy engine is disabled.
+	PolicyNodes []int
+	// PolicySSMs[i] is how many ensemble SSMs the policy ran for the
+	// i-th request (0 = the whole pool). Nil when the policy engine is
+	// disabled.
+	PolicySSMs []int
 }
 
 // Engine serves requests: offline traces via Run/RunOnline, live
@@ -343,6 +376,16 @@ type Engine struct {
 	// prefix is the cross-request prefix KV cache, non-nil when
 	// Config.PrefixCacheBytes is set (see prefix.go).
 	prefix *kvcache.PrefixCache
+
+	// pol is the speculation policy controller, non-nil when
+	// Config.Policy is set (see policy.go).
+	pol *policy.Controller
+	// simQueued is RunOnline's admission backlog — arrivals at or before
+	// the simulated clock still waiting for a slot — surfaced to the
+	// policy as the queue-depth signal the live path reads from the
+	// serve queue. Written and read only on the co-simulation
+	// goroutine; always zero outside RunOnline.
+	simQueued int
 
 	// mu guards srv, the live-serving state installed by Serve. The
 	// offline paths never touch it.
@@ -373,6 +416,13 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{cfg: cfg}
+	if cfg.Policy != nil {
+		ctl, err := policy.NewController(*cfg.Policy)
+		if err != nil {
+			return nil, err
+		}
+		e.pol = ctl
+	}
 	e.wrapPrefixCache()
 	return e, nil
 }
@@ -433,7 +483,7 @@ func (e *Engine) Run(reqs []workload.Request) ([]RequestResult, []IterationRecor
 		for _, st := range active {
 			if st.done {
 				results[st.pos] = st.res
-				release(st)
+				e.release(st)
 			} else {
 				still = append(still, st)
 			}
@@ -455,6 +505,9 @@ func (e *Engine) runIteration(active []*reqState) IterationRecord {
 	rec := IterationRecord{BatchSize: len(active)}
 	if e.cfg.Mode != Incremental {
 		rec.SpecSteps = e.specDepth()
+	}
+	if e.pol != nil {
+		e.decidePolicy(active, &rec)
 	}
 	shapes := make([]stepShape, len(active))
 	nw := e.cfg.Workers
@@ -519,6 +572,11 @@ func (e *Engine) runIteration(active []*reqState) IterationRecord {
 		rec.Committed = append(rec.Committed, sh.committed)
 		if e.cfg.Mode != Incremental {
 			rec.SpecAccepted = append(rec.SpecAccepted, sh.specAccepted)
+			if e.pol != nil {
+				// Serial, in slot order: the EWMA update sequence must
+				// not depend on worker interleaving.
+				e.pol.Observe(st.req.ID, sh.specAccepted)
+			}
 		}
 		rec.CtxLens = append(rec.CtxLens, st.llm.Len())
 		rec.CacheBytes = append(rec.CacheBytes, sessionCacheBytes(st.llm))
@@ -544,13 +602,19 @@ func sessionCacheBytes(s model.Session) int64 {
 // speculator's SSM sessions free their KV pages immediately instead of
 // waiting for the garbage collector to notice the whole request state is
 // dead — under continuous batching the freed pages bound the engine's
-// peak cache footprint by the active batch, not the whole trace.
-func release(st *reqState) {
+// peak cache footprint by the active batch, not the whole trace. The
+// policy controller's acceptance history is retired with the request
+// for the same reason: the EWMA map stays bounded by the active batch,
+// not the lifetime request count.
+func (e *Engine) release(st *reqState) {
 	if c, ok := st.llm.(model.Closer); ok {
 		c.Close()
 	}
 	if c, ok := st.spec.(model.Closer); ok {
 		c.Close()
+	}
+	if e.pol != nil {
+		e.pol.Retire(st.req.ID)
 	}
 }
 
@@ -558,6 +622,8 @@ func (e *Engine) specDepth() int {
 	switch {
 	case e.cfg.Mode == SequenceSpec:
 		return e.cfg.SeqDepth
+	case e.pol != nil:
+		return e.pol.Config().Latency.MaxDepth
 	case e.cfg.Adaptive != nil:
 		if e.cfg.Adaptive.MaxDepth > 0 {
 			return e.cfg.Adaptive.MaxDepth
@@ -583,7 +649,9 @@ func (e *Engine) admit(req workload.Request) *reqState {
 	case SequenceSpec:
 		st.spec = speculator.NewSequence(e.cfg.SeqDepth, e.cfg.Sample, e.cfg.SSMs[0])
 	case TreeSpec:
-		if e.cfg.Adaptive != nil {
+		if e.pol != nil {
+			st.spec = newPolicySpeculator(e.cfg.Sample, e.cfg.SSMs)
+		} else if e.cfg.Adaptive != nil {
 			st.spec = speculator.NewAdaptive(*e.cfg.Adaptive, e.cfg.Sample, e.cfg.SSMs[0])
 		} else {
 			st.spec = speculator.New(speculator.Config{

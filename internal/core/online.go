@@ -79,6 +79,15 @@ func (e *Engine) RunOnline(reqs []TimedRequest, pricer IterationPricer) ([]Onlin
 			clock = reqs[pending[0]].Arrival
 			continue
 		}
+		// Expose the ready-but-unadmitted backlog to the speculation
+		// policy (pending is sorted by arrival, so the prefix counts).
+		e.simQueued = 0
+		for _, idx := range pending {
+			if reqs[idx].Arrival > clock {
+				break
+			}
+			e.simQueued++
+		}
 
 		rec := e.runIteration(active)
 		iters = append(iters, rec)
@@ -89,13 +98,14 @@ func (e *Engine) RunOnline(reqs []TimedRequest, pricer IterationPricer) ([]Onlin
 			if st.done {
 				results[st.pos].RequestResult = st.res
 				results[st.pos].Finish = clock
-				release(st)
+				e.release(st)
 			} else {
 				still = append(still, st)
 			}
 		}
 		active = still
 	}
+	e.simQueued = 0
 	return results, iters
 }
 

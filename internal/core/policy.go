@@ -1,0 +1,144 @@
+package core
+
+import (
+	"specinfer/internal/model"
+	"specinfer/internal/policy"
+	"specinfer/internal/sampling"
+	"specinfer/internal/speculator"
+	"specinfer/internal/tree"
+)
+
+// policySpeculator adapts a pool of per-SSM adaptive speculators to the
+// treeSpeculator lifecycle under per-iteration policy decisions: the
+// engine writes the current decision before stepping (serially, on the
+// scheduler goroutine), and Speculate grows one tree per selected SSM
+// under the decided budget, merging ensembles per Definition 3.2. All
+// SSM sessions track the committed sequence through Accept regardless
+// of whether they speculated this iteration, so a later decision can
+// re-enable any ensemble member without resyncing.
+type policySpeculator struct {
+	specs []*speculator.AdaptiveSpeculator
+	// dec is this iteration's decision. Written by decidePolicy before
+	// the worker pool starts and read by the single worker stepping
+	// this request — never concurrently.
+	dec policy.Decision
+}
+
+func newPolicySpeculator(sample sampling.Config, ssms []model.Model) *policySpeculator {
+	p := &policySpeculator{}
+	for _, m := range ssms {
+		p.specs = append(p.specs, speculator.NewAdaptive(speculator.AdaptiveConfig{}, sample, m))
+	}
+	return p
+}
+
+// Prefill feeds the request prompt to every SSM session.
+func (p *policySpeculator) Prefill(prompt []model.Token) {
+	for _, s := range p.specs {
+		s.Prefill(prompt)
+	}
+}
+
+// Accept commits verified tokens into every SSM session — including
+// members the current decision benched, keeping the whole ensemble
+// aligned with the request sequence.
+func (p *policySpeculator) Accept(tokens []model.Token) {
+	for _, s := range p.specs {
+		s.Accept(tokens)
+	}
+}
+
+// Close releases every SSM session.
+func (p *policySpeculator) Close() {
+	for _, s := range p.specs {
+		s.Close()
+	}
+}
+
+// Speculate grows the decided number of SSM trees under the decided
+// budget and merges them. A zero node budget yields a bare root — the
+// verification pass then degenerates to an incremental step (bonus
+// token only).
+func (p *policySpeculator) Speculate(rootTok model.Token) *tree.Tree {
+	b := p.dec.Budget
+	if b.MaxNodes <= 0 {
+		return tree.New(rootTok)
+	}
+	cfg := speculator.AdaptiveConfig{
+		MaxNodes:    b.MaxNodes,
+		MaxDepth:    b.MaxDepth,
+		FanoutCap:   b.FanoutCap,
+		MinPathProb: b.MinPathProb,
+	}
+	n := p.dec.SSMs
+	if n <= 0 || n > len(p.specs) {
+		n = len(p.specs)
+	}
+	if n == 1 {
+		return p.specs[0].SpeculateBudget(rootTok, cfg)
+	}
+	trees := make([]*tree.Tree, n)
+	for i := 0; i < n; i++ {
+		trees[i] = p.specs[i].SpeculateBudget(rootTok, cfg)
+	}
+	merged := tree.Merge(trees...)
+	if merged.NumSpeculated() > b.MaxNodes {
+		merged = pruneByPathProb(merged, b.MaxNodes)
+	}
+	return merged
+}
+
+// pruneByPathProb trims a merged ensemble tree back to the node budget,
+// keeping the highest-path-probability nodes (parent-closed, so the
+// result is a valid token tree).
+func pruneByPathProb(tr *tree.Tree, budget int) *tree.Tree {
+	path := make([]float64, tr.Len())
+	path[0] = 1
+	for _, id := range tr.DFSOrder() {
+		if id == 0 {
+			continue
+		}
+		n := tr.Node(id)
+		path[id] = path[n.Parent] * float64(n.SSMProb())
+	}
+	return tr.PruneToBudget(budget, func(id tree.NodeID) float64 { return path[id] })
+}
+
+// decidePolicy computes this iteration's speculation decisions — on the
+// scheduler goroutine, before the worker pool starts, so decisions are
+// a pure function of batch order and observed accept lengths and the
+// engine's any-Workers determinism holds. The mode is batch-global (its
+// inputs — queue depth and occupancy — are shared); the budget is
+// per-request (scaled by each request's accept-length EWMA).
+func (e *Engine) decidePolicy(active []*reqState, rec *IterationRecord) {
+	// The admission backlog: the live serve queue, or RunOnline's
+	// ready-but-unadmitted arrivals during co-simulation (one of the two
+	// is always zero).
+	queueLen := e.QueueLen() + e.simQueued
+	rec.PolicyMode = e.pol.ModeFor(queueLen, len(active), e.cfg.MaxBatch).String()
+	depth := 0
+	for _, st := range active {
+		d := e.pol.Decide(st.req.ID, queueLen, len(active), e.cfg.MaxBatch)
+		if ps, ok := st.spec.(*policySpeculator); ok {
+			ps.dec = d
+		}
+		if d.Budget.MaxNodes > 0 && d.Budget.MaxDepth > depth {
+			depth = d.Budget.MaxDepth
+		}
+		rec.PolicyNodes = append(rec.PolicyNodes, d.Budget.MaxNodes)
+		rec.PolicySSMs = append(rec.PolicySSMs, d.SSMs)
+	}
+	// SSM levels run data parallel across the batch, so the deepest
+	// decided budget bounds the speculation phase this iteration —
+	// overriding the static ceiling specDepth reported.
+	rec.SpecSteps = depth
+}
+
+// PolicyStats snapshots the speculation policy controller's counters;
+// ok is false when the policy engine is disabled.
+func (e *Engine) PolicyStats() (policy.Stats, bool) {
+	if e.pol == nil {
+		return policy.Stats{}, false
+	}
+	return e.pol.Stats(), true
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"specinfer/internal/model"
+	"specinfer/internal/policy"
+	"specinfer/internal/sampling"
+	"specinfer/internal/speculator"
+	"specinfer/internal/transformer"
+	"specinfer/internal/workload"
+)
+
+// TestPolicyLosslessGreedy: the policy engine reshapes speculation per
+// iteration but must never change the output — greedy verification is
+// lossless for any tree, including the policy's moving budgets and
+// merged ensembles.
+func TestPolicyLosslessGreedy(t *testing.T) {
+	llm, ssm, reqs := testModels(t, 6, 48)
+	inc, _ := run(t, Config{Mode: Incremental, LLM: llm, Sample: sampling.GreedyConfig(), Seed: 7}, reqs)
+	pol, _ := run(t, Config{
+		Mode: TreeSpec, LLM: llm, SSMs: []model.Model{ssm},
+		Sample: sampling.GreedyConfig(), Seed: 7,
+		Policy: &policy.Config{},
+	}, reqs)
+	for i := range inc {
+		if !reflect.DeepEqual(inc[i].Output, pol[i].Output) {
+			t.Fatalf("request %d: policy output differs from incremental:\n%v\n%v",
+				i, inc[i].Output, pol[i].Output)
+		}
+	}
+}
+
+// TestPolicyRecordsDecisions: offline Run has no admission queue, so
+// every iteration must be decided in latency mode, with one budget and
+// SSM-count entry per active request.
+func TestPolicyRecordsDecisions(t *testing.T) {
+	llm, ssm, reqs := testModels(t, 4, 24)
+	_, iters := run(t, Config{
+		Mode: TreeSpec, LLM: llm, SSMs: []model.Model{ssm},
+		Sample: sampling.GreedyConfig(), Seed: 11, MaxBatch: 8,
+		Policy: &policy.Config{},
+	}, reqs)
+	for i, rec := range iters {
+		if rec.PolicyMode != policy.Latency.String() {
+			t.Fatalf("iter %d: mode %q, want latency (offline run: no queue, batch underfull)", i, rec.PolicyMode)
+		}
+		if len(rec.PolicyNodes) != rec.BatchSize || len(rec.PolicySSMs) != rec.BatchSize {
+			t.Fatalf("iter %d: %d budgets / %d ssm counts for batch %d",
+				i, len(rec.PolicyNodes), len(rec.PolicySSMs), rec.BatchSize)
+		}
+		for j, n := range rec.PolicyNodes {
+			if n < 1 {
+				t.Fatalf("iter %d req %d: node budget %d < 1", i, j, n)
+			}
+		}
+	}
+}
+
+// TestPolicyDeterministicAcrossWorkers: identical trace and seed must
+// yield identical outputs AND identical policy decisions for every
+// Workers × AttnWorkers combination — decisions are computed serially
+// on the scheduler goroutine, so no parallelism axis can perturb them.
+func TestPolicyDeterministicAcrossWorkers(t *testing.T) {
+	mkModels := func(attnWorkers int) (model.Model, model.Model) {
+		llm := transformer.New(transformer.Config{
+			Name: "pol-llm", Vocab: 64, Hidden: 32, Heads: 4, FFN: 64,
+			Layers: 2, Seed: 1, AttnWorkers: attnWorkers,
+		})
+		ssm := transformer.New(transformer.Config{
+			Name: "pol-ssm", Vocab: 64, Hidden: 16, Heads: 2, FFN: 32,
+			Layers: 1, Seed: 2, AttnWorkers: attnWorkers,
+		})
+		return llm, ssm
+	}
+	reqs := []workload.Request{
+		{ID: 0, Prompt: []int{1, 2, 3, 4, 5}, MaxNewTok: 12},
+		{ID: 1, Prompt: []int{9, 8, 7}, MaxNewTok: 12},
+		{ID: 2, Prompt: []int{5, 5, 6, 6}, MaxNewTok: 12},
+	}
+	type outcome struct {
+		res   []RequestResult
+		iters []IterationRecord
+	}
+	var base *outcome
+	for _, workers := range []int{1, 4} {
+		for _, attn := range []int{1, 4} {
+			name := fmt.Sprintf("workers=%d/attnworkers=%d", workers, attn)
+			llm, ssm := mkModels(attn)
+			res, iters := run(t, Config{
+				Mode: TreeSpec, LLM: llm, SSMs: []model.Model{ssm},
+				Sample: sampling.GreedyConfig(), Seed: 17,
+				MaxBatch: 2, Workers: workers,
+				Policy: &policy.Config{},
+			}, reqs)
+			if base == nil {
+				base = &outcome{res, iters}
+				continue
+			}
+			if !reflect.DeepEqual(base.res, res) {
+				t.Fatalf("%s: results differ from workers=1/attnworkers=1", name)
+			}
+			if !reflect.DeepEqual(base.iters, iters) {
+				t.Fatalf("%s: iteration records (incl. policy decisions) differ", name)
+			}
+		}
+	}
+	// The records must actually carry decisions, or the comparison above
+	// proves nothing about the policy.
+	if len(base.iters) == 0 || base.iters[0].PolicyMode == "" || len(base.iters[0].PolicyNodes) == 0 {
+		t.Fatal("iteration records carry no policy decisions")
+	}
+}
+
+// TestPolicyRetireReleasesHistory: acceptance history must be dropped
+// at every retirement path so the EWMA map is bounded by the active
+// batch, not the lifetime request count. Offline and live paths both;
+// meaningful under -race (make race runs it) since retire and stats
+// readers touch the controller concurrently with the scheduler.
+func TestPolicyRetireReleasesHistory(t *testing.T) {
+	llm, ssm, reqs := testModels(t, 8, 16)
+
+	eng, err := NewEngine(Config{
+		Mode: TreeSpec, LLM: llm, SSMs: []model.Model{ssm},
+		Sample: sampling.GreedyConfig(), Seed: 3, MaxBatch: 2,
+		Policy: &policy.Config{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run(reqs)
+	if st, ok := eng.PolicyStats(); !ok || st.TrackedRequests != 0 {
+		t.Fatalf("offline: %d requests still tracked after Run, want 0", st.TrackedRequests)
+	}
+
+	eng2, err := NewEngine(Config{
+		Mode: TreeSpec, LLM: llm, SSMs: []model.Model{ssm},
+		Sample: sampling.GreedyConfig(), Seed: 3, MaxBatch: 2, QueueDepth: 16,
+		Policy: &policy.Config{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel, done := startServe(t, eng2)
+	var resChans []<-chan Result
+	for _, req := range reqs {
+		_, rc, err := eng2.Submit(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resChans = append(resChans, rc)
+	}
+	for _, rc := range resChans {
+		if res := mustResult(t, rc, 30*time.Second); res.Err != nil {
+			t.Fatalf("live request failed: %v", res.Err)
+		}
+	}
+	waitStats(t, eng2, func(st ServeStats) bool { return st.PolicyTrackedRequests == 0 })
+	waitServeExit(t, cancel, done)
+}
+
+// TestPolicyModeSwitchLive: a burst that overfills the queue must drive
+// throughput-mode iterations, the post-burst tail latency-mode ones,
+// and the two mode counters must account for every policy iteration.
+func TestPolicyModeSwitchLive(t *testing.T) {
+	llm, ssm, reqs := testModels(t, 10, 12)
+	eng, err := NewEngine(Config{
+		Mode: TreeSpec, LLM: llm, SSMs: []model.Model{ssm},
+		Sample: sampling.GreedyConfig(), Seed: 5, MaxBatch: 2, QueueDepth: 16,
+		Policy: &policy.Config{QueueHighWater: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel, done := startServe(t, eng)
+	var resChans []<-chan Result
+	for _, req := range reqs {
+		_, rc, err := eng.Submit(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resChans = append(resChans, rc)
+	}
+	for _, rc := range resChans {
+		if res := mustResult(t, rc, 30*time.Second); res.Err != nil {
+			t.Fatalf("live request failed: %v", res.Err)
+		}
+	}
+	st := eng.ServeStats()
+	if !st.PolicyEnabled {
+		t.Fatal("PolicyEnabled false with Policy configured")
+	}
+	if st.PolicyThroughputIters == 0 {
+		t.Fatalf("no throughput-mode iterations despite a %d-deep burst: %+v", len(reqs), st)
+	}
+	if st.PolicyLatencyIters == 0 {
+		t.Fatalf("no latency-mode iterations despite a drained tail: %+v", st)
+	}
+	if st.PolicyLatencyIters+st.PolicyThroughputIters != st.Iterations {
+		t.Fatalf("mode counters %d+%d do not account for %d iterations",
+			st.PolicyLatencyIters, st.PolicyThroughputIters, st.Iterations)
+	}
+	if st.PolicySpecBudget <= 0 {
+		t.Fatalf("current speculation budget %d, want positive while serving", st.PolicySpecBudget)
+	}
+	waitServeExit(t, cancel, done)
+}
+
+// TestPolicyEnsembleRunsAndPrunes: with a multi-SSM pool the policy
+// merges per-SSM trees and prunes back to the decided budget; output
+// stays lossless under greedy verification.
+func TestPolicyEnsembleRunsAndPrunes(t *testing.T) {
+	llm, ssm, reqs := testModels(t, 3, 24)
+	ssm2, _, _ := testModels(t, 1, 1) // a second, differently-trained model
+	inc, _ := run(t, Config{Mode: Incremental, LLM: llm, Sample: sampling.GreedyConfig(), Seed: 9}, reqs)
+	pol, iters := run(t, Config{
+		Mode: TreeSpec, LLM: llm, SSMs: []model.Model{ssm, ssm2},
+		Sample: sampling.GreedyConfig(), Seed: 9,
+		Policy: &policy.Config{Latency: policy.Budget{MaxNodes: 8, MaxDepth: 4, FanoutCap: 2}},
+	}, reqs)
+	for i := range inc {
+		if !reflect.DeepEqual(inc[i].Output, pol[i].Output) {
+			t.Fatalf("request %d: ensemble policy output differs from incremental", i)
+		}
+	}
+	for i, rec := range iters {
+		for j, n := range rec.TreeNodes {
+			if n > rec.PolicyNodes[j] {
+				t.Fatalf("iter %d req %d: %d tree nodes exceed the %d budget after merge",
+					i, j, n, rec.PolicyNodes[j])
+			}
+		}
+	}
+}
+
+// TestPolicyConfigConflicts: Policy demands TreeSpec and excludes the
+// static Adaptive field.
+func TestPolicyConfigConflicts(t *testing.T) {
+	llm, ssm, _ := testModels(t, 1, 4)
+	if _, err := NewEngine(Config{
+		Mode: Incremental, LLM: llm, Sample: sampling.GreedyConfig(),
+		Policy: &policy.Config{},
+	}); err == nil {
+		t.Fatal("Policy accepted with Incremental mode")
+	}
+	if _, err := NewEngine(Config{
+		Mode: TreeSpec, LLM: llm, SSMs: []model.Model{ssm},
+		Sample:   sampling.GreedyConfig(),
+		Policy:   &policy.Config{},
+		Adaptive: &speculator.AdaptiveConfig{MaxNodes: 8},
+	}); err == nil {
+		t.Fatal("Policy accepted alongside Adaptive")
+	}
+	if _, err := NewEngine(Config{
+		Mode: TreeSpec, LLM: llm, SSMs: []model.Model{ssm},
+		Sample: sampling.GreedyConfig(),
+		Policy: &policy.Config{Alpha: 2}, // invalid controller config
+	}); err == nil {
+		t.Fatal("invalid policy config accepted")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"specinfer/internal/kvcache"
 	"specinfer/internal/metrics"
 	"specinfer/internal/model"
+	"specinfer/internal/policy"
 	"specinfer/internal/workload"
 )
 
@@ -118,6 +119,13 @@ type serveState struct {
 	// backing the sliding-window throughput figure.
 	recentT *metrics.Window // guarded by mu
 	recentC *metrics.Window // guarded by mu
+	// polLatIters/polThrIters count iterations the speculation policy
+	// decided in latency/throughput mode, and polBudget is the summed
+	// node budget it granted across the last iteration's batch. All
+	// zero when the policy engine is disabled.
+	polLatIters uint64 // guarded by mu
+	polThrIters uint64 // guarded by mu
+	polBudget   int    // guarded by mu
 }
 
 // ServeStats is a point-in-time snapshot of the live serving loop, the
@@ -175,6 +183,18 @@ type ServeStats struct {
 	// Config.PrefixCacheBytes is unset.
 	PrefixCacheEnabled bool
 	PrefixCache        kvcache.PrefixStats
+	// PolicyEnabled reports whether the speculation policy engine
+	// (Config.Policy) is active; the remaining Policy* fields are zero
+	// when it is not. PolicyLatencyIters/PolicyThroughputIters count
+	// iterations decided in each mode, PolicySpecBudget is the summed
+	// speculated-node budget granted across the last iteration's batch
+	// (the "current speculation budget"), and PolicyTrackedRequests is
+	// the number of requests with live acceptance history (bounded by
+	// the active batch once retire hooks run).
+	PolicyEnabled                             bool
+	PolicyLatencyIters, PolicyThroughputIters uint64
+	PolicySpecBudget                          int
+	PolicyTrackedRequests                     int
 }
 
 // Serve runs the live scheduler loop until ctx is cancelled and the
@@ -367,10 +387,15 @@ func (e *Engine) ServeStats() ServeStats {
 		prefix = e.prefix.Stats()
 	}
 	if s == nil {
-		return ServeStats{
+		st := ServeStats{
 			MaxBatch: e.cfg.MaxBatch, QueueCap: e.cfg.QueueDepth,
 			PrefixCacheEnabled: e.prefix != nil, PrefixCache: prefix,
 		}
+		if e.pol != nil {
+			st.PolicyEnabled = true
+			st.PolicyTrackedRequests = e.pol.Stats().TrackedRequests
+		}
+		return st
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -416,6 +441,16 @@ func (e *Engine) ServeStats() ServeStats {
 		if span > 0 {
 			st.RecentTokensPerSec = (float64(s.tokens) - cs[0]) / span
 		}
+	}
+	if e.pol != nil {
+		// s.mu is already held (deferred above); the controller's own
+		// lock nests under it without ordering conflicts — the
+		// controller never acquires engine or serve locks.
+		st.PolicyEnabled = true
+		st.PolicyTrackedRequests = e.pol.Stats().TrackedRequests
+		st.PolicyLatencyIters = s.polLatIters
+		st.PolicyThroughputIters = s.polThrIters
+		st.PolicySpecBudget = s.polBudget
 	}
 	return st
 }
@@ -501,7 +536,7 @@ func (e *Engine) sweepCancelled(s *serveState, active []*reqState) []*reqState {
 // finishLive retires one live request: release its sessions, deliver
 // the Result, and record its latency.
 func (e *Engine) finishLive(s *serveState, st *reqState, err error) {
-	release(st)
+	e.release(st)
 	now := s.clock()
 	res := Result{
 		RequestResult: st.res,
@@ -621,12 +656,24 @@ func (s *serveState) recordIteration(rec IterationRecord) {
 		verifs++
 		accepted += uint64(a)
 	}
+	var polBudget int
+	for _, n := range rec.PolicyNodes {
+		polBudget += n
+	}
 	now := s.clock()
 	s.mu.Lock()
 	s.iterations++
 	s.tokens += toks
 	s.verifications += verifs
 	s.specAccepted += accepted
+	if rec.PolicyMode != "" {
+		if rec.PolicyMode == policy.Throughput.String() {
+			s.polThrIters++
+		} else {
+			s.polLatIters++
+		}
+		s.polBudget = polBudget
+	}
 	s.recentT.Add(now.Sub(s.started).Seconds())
 	s.recentC.Add(float64(s.tokens))
 	s.mu.Unlock()

@@ -1,0 +1,322 @@
+// Package policy implements the per-request, per-iteration speculation
+// policy engine (ROADMAP item 2, SPIN-style heterogeneous scheduling).
+// The paper's §3 leaves dynamic token-tree expansion as future work and
+// keeps tree shape and SSM choice static per serving run; SPIN shows the
+// largest serving wins come from choosing *how hard to speculate* per
+// request per iteration. The controller here decides, for every request
+// at every iteration boundary:
+//
+//   - the tree expansion shape (node budget, depth, fanout) handed to
+//     the best-first adaptive grower, and
+//   - how many SSMs of the ensemble to run for that request,
+//
+// driven by three signals:
+//
+//   - an EWMA of the request's measured accept length
+//     (core.IterationRecord.SpecAccepted feeds Observe),
+//   - the current admission-queue depth (core.Engine.QueueLen), and
+//   - batch occupancy (active requests vs. MaxBatch slots).
+//
+// Mode rule: when the queue is at or past QueueHighWater — or the batch
+// is full — verification FLOPs are the contended resource, so
+// speculation narrows (throughput mode: wasted tree nodes
+// cost other requests' latency). Otherwise the batch is underfull and
+// tree verification rides along nearly free with the batched pass, so
+// speculation deepens (latency mode). Within the mode's budget ceiling
+// each request's node and depth budget scales with its own measured
+// accept length: a request whose drafts are mostly rejected gets a
+// shallow tree regardless of mode, because nodes past the expected
+// accept point are FLOPs spent on tokens that will be thrown away.
+//
+// The package is dependency-free on purpose: decisions are pure
+// functions of (EWMA, queue, occupancy) so the engine can compute them
+// serially before its worker pool and stay deterministic for any
+// Workers setting.
+package policy
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Mode is the operating point a decision targets.
+type Mode int
+
+const (
+	// Latency mode speculates deep: the batch is underfull, so tree
+	// verification is nearly free and longer accepted runs cut
+	// per-request latency.
+	Latency Mode = iota
+	// Throughput mode speculates narrow: verification FLOPs are
+	// contended (full batch and/or deep queue), so speculative waste
+	// directly displaces other requests' work.
+	Throughput
+)
+
+func (m Mode) String() string {
+	if m == Throughput {
+		return "throughput"
+	}
+	return "latency"
+}
+
+// Budget is a tree expansion shape: the node/depth/fanout envelope
+// handed to the adaptive best-first grower. It mirrors
+// speculator.AdaptiveConfig without importing it, keeping this package
+// dependency-free.
+type Budget struct {
+	// MaxNodes is the speculated-node budget per tree.
+	MaxNodes int
+	// MaxDepth bounds speculation depth.
+	MaxDepth int
+	// FanoutCap bounds children per node.
+	FanoutCap int
+	// MinPathProb prunes candidates below this SSM path probability;
+	// 0 disables pruning.
+	MinPathProb float64
+}
+
+// Decision is one request-iteration's speculation plan.
+type Decision struct {
+	Mode Mode
+	// Budget is the expansion envelope for this request this iteration.
+	// MaxNodes 0 means "do not speculate" (verify-free incremental
+	// step); the engine then skips the SSM pass entirely.
+	Budget Budget
+	// SSMs is how many models of the ensemble to run (clamped by the
+	// engine to the pool size; >= 1 whenever Budget.MaxNodes > 0).
+	SSMs int
+}
+
+// Config parameterizes the controller. The zero value is usable: every
+// field defaults to the documented value via validation-time filling.
+type Config struct {
+	// QueueHighWater is the admission-queue depth at or above which the
+	// controller switches to throughput mode. Defaults to 4.
+	QueueHighWater int
+	// Alpha is the EWMA decay for per-request accept length:
+	// ewma = (1-Alpha)*ewma + Alpha*observed. Defaults to 0.3.
+	Alpha float64
+	// InitAcceptLen seeds a request's EWMA before its first
+	// verification (a fresh request has no measurement yet). Defaults
+	// to 2 — mildly optimistic, so new requests get a real tree and the
+	// EWMA corrects within a few iterations.
+	InitAcceptLen float64
+	// Latency and Throughput are the per-mode budget ceilings.
+	// Latency defaults to {MaxNodes: 16, MaxDepth: 8, FanoutCap: 3};
+	// Throughput defaults to {MaxNodes: 2, MaxDepth: 2, FanoutCap: 1}.
+	Latency, Throughput Budget
+	// LatencySSMs / ThroughputSSMs bound how many ensemble members run
+	// per mode. 0 means "all available" for latency and 1 for
+	// throughput.
+	LatencySSMs, ThroughputSSMs int
+	// NodesPerAccept converts a request's expected accept length into
+	// its node budget: nodes = ceil((ewma+1) * NodesPerAccept), clamped
+	// to the mode ceiling. Defaults to 2 — roughly fanout-2 coverage
+	// along the expected accepted path plus the bonus position.
+	NodesPerAccept float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueHighWater == 0 {
+		c.QueueHighWater = 4
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.3
+	}
+	if c.InitAcceptLen == 0 {
+		c.InitAcceptLen = 2
+	}
+	if c.Latency == (Budget{}) {
+		c.Latency = Budget{MaxNodes: 16, MaxDepth: 8, FanoutCap: 3}
+	}
+	if c.Throughput == (Budget{}) {
+		c.Throughput = Budget{MaxNodes: 2, MaxDepth: 2, FanoutCap: 1}
+	}
+	if c.ThroughputSSMs == 0 {
+		c.ThroughputSSMs = 1
+	}
+	if c.NodesPerAccept == 0 {
+		c.NodesPerAccept = 2
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.QueueHighWater < 0 {
+		return fmt.Errorf("policy: negative QueueHighWater %d", c.QueueHighWater)
+	}
+	if c.Alpha < 0 || c.Alpha > 1 {
+		return fmt.Errorf("policy: Alpha %v outside [0,1]", c.Alpha)
+	}
+	if c.InitAcceptLen < 0 {
+		return fmt.Errorf("policy: negative InitAcceptLen %v", c.InitAcceptLen)
+	}
+	if c.NodesPerAccept < 0 {
+		return fmt.Errorf("policy: negative NodesPerAccept %v", c.NodesPerAccept)
+	}
+	for _, b := range []struct {
+		name string
+		b    Budget
+	}{{"Latency", c.Latency}, {"Throughput", c.Throughput}} {
+		if b.b.MaxNodes < 0 || b.b.MaxDepth < 0 || b.b.FanoutCap < 0 || b.b.MinPathProb < 0 {
+			return fmt.Errorf("policy: negative %s budget field: %+v", b.name, b.b)
+		}
+	}
+	if c.LatencySSMs < 0 || c.ThroughputSSMs < 0 {
+		return fmt.Errorf("policy: negative SSM bound (%d, %d)", c.LatencySSMs, c.ThroughputSSMs)
+	}
+	return nil
+}
+
+// Stats is a snapshot of the controller's decision counters, the
+// backing data of the /metricz policy block.
+type Stats struct {
+	// LatencyDecisions / ThroughputDecisions count per-request
+	// decisions made in each mode over the controller's lifetime.
+	LatencyDecisions, ThroughputDecisions uint64
+	// TrackedRequests is the number of requests with live acceptance
+	// history (bounded by the active batch once retire hooks run).
+	TrackedRequests int
+}
+
+// Controller holds per-request acceptance history and produces
+// decisions. It is safe for concurrent use; the engine calls
+// Decide/Observe serially from its scheduler goroutine and Retire from
+// retirement paths, while stats readers may snapshot concurrently.
+type Controller struct {
+	cfg Config
+
+	mu   sync.Mutex
+	ewma map[int]float64 // guarded by mu — per-request accept-length EWMA
+	lat  uint64          // guarded by mu — latency-mode decision count
+	thr  uint64          // guarded by mu — throughput-mode decision count
+}
+
+// NewController validates the configuration and returns a controller.
+func NewController(cfg Config) (*Controller, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Controller{cfg: cfg, ewma: make(map[int]float64)}, nil
+}
+
+// Config returns the controller's effective configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// ModeFor applies the mode-switch rule alone: throughput when the
+// queue is at or past the high-water mark, or when the batch is full;
+// latency otherwise. A full batch is contended even with an empty
+// queue — at full occupancy the verification pass runs deep in its
+// compute-bound region, where every speculated position costs real
+// time, so narrow trees drain the batch faster (and the requests are
+// throughput-bound anyway). Exposed separately so the engine can stamp
+// one mode per iteration (the inputs are shared by every request of
+// the batch).
+func (c *Controller) ModeFor(queueLen, active, maxBatch int) Mode {
+	if queueLen >= c.cfg.QueueHighWater {
+		return Throughput
+	}
+	if maxBatch > 0 && active >= maxBatch {
+		return Throughput
+	}
+	return Latency
+}
+
+// Decide returns the speculation plan for one request this iteration.
+// It is a pure function of the request's EWMA and the shared
+// (queueLen, active, maxBatch) signals — no randomness, no clock — so
+// identical traces yield identical decisions regardless of engine
+// worker counts.
+func (c *Controller) Decide(reqID, queueLen, active, maxBatch int) Decision {
+	mode := c.ModeFor(queueLen, active, maxBatch)
+	ceiling, ssms := c.cfg.Latency, c.cfg.LatencySSMs
+	if mode == Throughput {
+		ceiling, ssms = c.cfg.Throughput, c.cfg.ThroughputSSMs
+	}
+
+	c.mu.Lock()
+	ew, ok := c.ewma[reqID]
+	if !ok {
+		ew = c.cfg.InitAcceptLen
+	}
+	if mode == Throughput {
+		c.thr++
+	} else {
+		c.lat++
+	}
+	c.mu.Unlock()
+
+	// Scale the node and depth budget by the request's expected accept
+	// length: tree mass past the expected accept point is verification
+	// work spent on tokens that will be rejected.
+	nodes := int(math.Ceil((ew + 1) * c.cfg.NodesPerAccept))
+	nodes = clamp(nodes, 1, ceiling.MaxNodes)
+	depth := clamp(int(math.Ceil(ew))+1, 1, ceiling.MaxDepth)
+	return Decision{
+		Mode: mode,
+		Budget: Budget{
+			MaxNodes:    nodes,
+			MaxDepth:    depth,
+			FanoutCap:   ceiling.FanoutCap,
+			MinPathProb: ceiling.MinPathProb,
+		},
+		SSMs: ssms,
+	}
+}
+
+// Observe folds one measured accept length (IterationRecord.SpecAccepted
+// for the request) into the request's EWMA. Negative values — the
+// engine's failed-verification sentinel — are ignored.
+func (c *Controller) Observe(reqID, accepted int) {
+	if accepted < 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ew, ok := c.ewma[reqID]
+	if !ok {
+		ew = c.cfg.InitAcceptLen
+	}
+	c.ewma[reqID] = (1-c.cfg.Alpha)*ew + c.cfg.Alpha*float64(accepted)
+}
+
+// Retire drops a request's acceptance history. The engine calls it at
+// every retirement path so the history map stays bounded by the active
+// batch instead of growing with the lifetime request count.
+func (c *Controller) Retire(reqID int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.ewma, reqID)
+}
+
+// Tracked reports how many requests currently have acceptance history
+// (the retire-leak regression probe).
+func (c *Controller) Tracked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.ewma)
+}
+
+// Stats snapshots the decision counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		LatencyDecisions:    c.lat,
+		ThroughputDecisions: c.thr,
+		TrackedRequests:     len(c.ewma),
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if hi > 0 && v > hi {
+		v = hi
+	}
+	if v < lo {
+		v = lo
+	}
+	return v
+}

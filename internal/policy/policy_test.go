@@ -1,0 +1,224 @@
+package policy
+
+import (
+	"sync"
+	"testing"
+)
+
+func mustController(t *testing.T, cfg Config) *Controller {
+	t.Helper()
+	c, err := NewController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestModeRule walks the mode-switch rule over the queue-depth
+// threshold and the full-batch condition, including the exact flip
+// point at QueueHighWater.
+func TestModeRule(t *testing.T) {
+	c := mustController(t, Config{QueueHighWater: 4})
+	cases := []struct {
+		name                    string
+		queue, active, maxBatch int
+		want                    Mode
+	}{
+		{"idle", 0, 0, 8, Latency},
+		{"underfull no queue", 0, 3, 8, Latency},
+		{"queue below threshold", 3, 3, 8, Latency},
+		{"queue at threshold flips", 4, 3, 8, Throughput},
+		{"queue above threshold", 9, 3, 8, Throughput},
+		{"full batch empty queue", 0, 8, 8, Throughput},
+		{"full batch one queued", 1, 8, 8, Throughput},
+		{"overfull batch queued", 1, 9, 8, Throughput},
+		{"full batch unknown cap", 1, 8, 0, Latency},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := c.ModeFor(tc.queue, tc.active, tc.maxBatch); got != tc.want {
+				t.Fatalf("ModeFor(%d,%d,%d) = %v, want %v",
+					tc.queue, tc.active, tc.maxBatch, got, tc.want)
+			}
+			if got := c.Decide(1, tc.queue, tc.active, tc.maxBatch).Mode; got != tc.want {
+				t.Fatalf("Decide mode = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDecisionBudgets checks the EWMA-to-budget scaling against the
+// per-mode ceilings, including the degenerate MaxNodes=1 and
+// FanoutCap=1 ceilings.
+func TestDecisionBudgets(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   Config
+		ewma  []int // Observe sequence for request 1 before deciding
+		queue int
+		want  Budget
+		ssms  int
+	}{
+		{
+			name: "fresh request uses InitAcceptLen",
+			cfg:  Config{InitAcceptLen: 2, NodesPerAccept: 2},
+			// nodes = ceil(3*2) = 6, depth = ceil(2)+1 = 3
+			want: Budget{MaxNodes: 6, MaxDepth: 3, FanoutCap: 3},
+		},
+		{
+			name: "high acceptance saturates the latency ceiling",
+			cfg:  Config{Latency: Budget{MaxNodes: 10, MaxDepth: 4, FanoutCap: 2}},
+			ewma: []int{8, 8, 8, 8, 8, 8, 8, 8, 8, 8},
+			want: Budget{MaxNodes: 10, MaxDepth: 4, FanoutCap: 2},
+		},
+		{
+			name: "zero acceptance shrinks to a stub tree",
+			cfg:  Config{Alpha: 1}, // EWMA tracks the last observation exactly
+			ewma: []int{0},
+			// nodes = ceil(1*2) = 2, depth = ceil(0)+1 = 1
+			want: Budget{MaxNodes: 2, MaxDepth: 1, FanoutCap: 3},
+		},
+		{
+			name:  "throughput ceiling MaxNodes=1 FanoutCap=1",
+			cfg:   Config{Throughput: Budget{MaxNodes: 1, MaxDepth: 1, FanoutCap: 1}},
+			ewma:  []int{8, 8, 8},
+			queue: 100,
+			want:  Budget{MaxNodes: 1, MaxDepth: 1, FanoutCap: 1},
+			ssms:  1,
+		},
+		{
+			name:  "MinPathProb rides along from the ceiling",
+			cfg:   Config{Latency: Budget{MaxNodes: 8, MaxDepth: 4, FanoutCap: 2, MinPathProb: 0.25}},
+			want:  Budget{MaxNodes: 6, MaxDepth: 3, FanoutCap: 2, MinPathProb: 0.25},
+			queue: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := mustController(t, tc.cfg)
+			for _, a := range tc.ewma {
+				c.Observe(1, a)
+			}
+			d := c.Decide(1, tc.queue, 1, 8)
+			if d.Budget != tc.want {
+				t.Fatalf("budget = %+v, want %+v", d.Budget, tc.want)
+			}
+			if tc.ssms != 0 && d.SSMs != tc.ssms {
+				t.Fatalf("ssms = %d, want %d", d.SSMs, tc.ssms)
+			}
+		})
+	}
+}
+
+// TestObserveIgnoresFailedVerification: the engine's -1 sentinel for a
+// failed verification must not poison the EWMA.
+func TestObserveIgnoresFailedVerification(t *testing.T) {
+	c := mustController(t, Config{Alpha: 1})
+	c.Observe(7, 5)
+	before := c.Decide(7, 0, 1, 8)
+	c.Observe(7, -1)
+	after := c.Decide(7, 0, 1, 8)
+	if before != after {
+		t.Fatalf("failed verification changed the decision: %+v -> %+v", before, after)
+	}
+}
+
+// TestRetireBoundsHistory: retiring requests must drop their EWMA
+// entries so the map is bounded by the active set, not the lifetime
+// request count.
+func TestRetireBoundsHistory(t *testing.T) {
+	c := mustController(t, Config{})
+	for id := 0; id < 1000; id++ {
+		c.Decide(id, 0, 1, 8)
+		c.Observe(id, 3)
+		c.Retire(id)
+	}
+	if n := c.Tracked(); n != 0 {
+		t.Fatalf("tracked %d requests after all retired, want 0", n)
+	}
+}
+
+// TestDecideDeterministic: identical observation sequences yield
+// identical decision sequences — the property the engine's
+// any-Workers determinism rests on.
+func TestDecideDeterministic(t *testing.T) {
+	run := func() []Decision {
+		c := mustController(t, Config{})
+		var out []Decision
+		for i := 0; i < 50; i++ {
+			d := c.Decide(i%4, i%7, i%3, 4)
+			out = append(out, d)
+			c.Observe(i%4, i%5)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestStatsCounters: decision counts split by mode, tracked set follows
+// observe/retire.
+func TestStatsCounters(t *testing.T) {
+	c := mustController(t, Config{QueueHighWater: 2})
+	c.Decide(1, 0, 1, 8) // latency
+	c.Decide(1, 5, 1, 8) // throughput
+	c.Decide(2, 5, 1, 8) // throughput
+	c.Observe(1, 2)
+	st := c.Stats()
+	if st.LatencyDecisions != 1 || st.ThroughputDecisions != 2 {
+		t.Fatalf("decision counts = %d/%d, want 1/2", st.LatencyDecisions, st.ThroughputDecisions)
+	}
+	if st.TrackedRequests != 1 {
+		t.Fatalf("tracked = %d, want 1", st.TrackedRequests)
+	}
+}
+
+// TestControllerConcurrentAccess drives all methods from racing
+// goroutines; meaningful under -race (make race runs it).
+func TestControllerConcurrentAccess(t *testing.T) {
+	c := mustController(t, Config{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := g*1000 + i
+				c.Decide(id, i, 1, 8)
+				c.Observe(id, i%6)
+				c.Stats()
+				c.Retire(id)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Tracked(); n != 0 {
+		t.Fatalf("tracked %d after concurrent retire, want 0", n)
+	}
+}
+
+// TestConfigValidation rejects out-of-range fields.
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{QueueHighWater: -1},
+		{Alpha: -0.5},
+		{Alpha: 1.5},
+		{InitAcceptLen: -1},
+		{NodesPerAccept: -2},
+		{Latency: Budget{MaxNodes: -1, MaxDepth: 1, FanoutCap: 1}},
+		{Throughput: Budget{MaxNodes: 1, MaxDepth: 1, FanoutCap: -1}},
+		{LatencySSMs: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewController(cfg); err == nil {
+			t.Errorf("case %d: NewController(%+v) accepted invalid config", i, cfg)
+		}
+	}
+	if _, err := NewController(Config{}); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+}

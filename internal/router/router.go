@@ -595,6 +595,12 @@ type FleetStats struct {
 	PrefixHits, PrefixMisses              uint64
 	PrefixTokensShared, PrefixBytesShared uint64
 	PrefixBytes                           int64
+	// Speculation-policy rollup across replicas (core.Config.Policy):
+	// per-mode iteration counts, live speculation budgets, and tracked
+	// acceptance histories summed over policy-enabled replicas.
+	SpecPolicyEnabled                         bool
+	PolicyLatencyIters, PolicyThroughputIters uint64
+	PolicySpecBudget, PolicyTrackedRequests   int
 }
 
 // FleetStats snapshots the fleet.
@@ -643,6 +649,13 @@ func (r *Router) FleetStats() FleetStats {
 			fs.PrefixTokensShared += st.PrefixCache.TokensShared
 			fs.PrefixBytesShared += st.PrefixCache.BytesShared
 			fs.PrefixBytes += st.PrefixCache.Bytes
+		}
+		if st.PolicyEnabled {
+			fs.SpecPolicyEnabled = true
+			fs.PolicyLatencyIters += st.PolicyLatencyIters
+			fs.PolicyThroughputIters += st.PolicyThroughputIters
+			fs.PolicySpecBudget += st.PolicySpecBudget
+			fs.PolicyTrackedRequests += st.PolicyTrackedRequests
 		}
 		lat = append(lat, st.LatencySamples)
 		qd = append(qd, st.QueueDelaySamples)

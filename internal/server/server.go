@@ -450,6 +450,10 @@ type metriczResponse struct {
 	// cache is enabled (core.Config.PrefixCacheBytes). In fleet mode it
 	// is the sum over the replicas' private caches.
 	PrefixCache *prefixCacheMetrics `json:"prefix_cache,omitempty"`
+	// Policy is present when the per-iteration speculation policy is
+	// enabled (core.Config.Policy). In fleet mode it sums over
+	// policy-enabled replicas.
+	Policy *policyMetrics `json:"policy,omitempty"`
 	// Router and Replicas are present in fleet mode only: the routing
 	// rollup and the per-replica breakdown. The top-level fields above
 	// stay aggregate (sums; quantiles pooled via metrics.Merge), so
@@ -481,6 +485,18 @@ type replicaMetrics struct {
 	State string `json:"state"`
 	Err   string `json:"err,omitempty"`
 	metriczResponse
+}
+
+// policyMetrics is the /metricz view of the speculation policy layer:
+// how many iterations each mode decided, the node budget the last
+// iteration granted across its batch, and how many per-request
+// acceptance histories the controller currently holds (bounded by the
+// active batch when retirement is working).
+type policyMetrics struct {
+	LatencyIters    uint64 `json:"latency_iters"`
+	ThroughputIters uint64 `json:"throughput_iters"`
+	SpecBudget      int    `json:"spec_budget"`
+	TrackedRequests int    `json:"tracked_requests"`
 }
 
 // prefixCacheMetrics is the /metricz view of kvcache.PrefixStats.
@@ -551,6 +567,14 @@ func statsToMetricz(st core.ServeStats) metriczResponse {
 			Nodes: p.Nodes, Tails: p.Tails, Pinned: p.Pinned,
 		}
 	}
+	if st.PolicyEnabled {
+		resp.Policy = &policyMetrics{
+			LatencyIters:    st.PolicyLatencyIters,
+			ThroughputIters: st.PolicyThroughputIters,
+			SpecBudget:      st.PolicySpecBudget,
+			TrackedRequests: st.PolicyTrackedRequests,
+		}
+	}
 	return resp
 }
 
@@ -613,6 +637,14 @@ func fleetMetricz(fs router.FleetStats) metriczResponse {
 			agg.HitRate = float64(agg.Hits) / float64(total)
 		}
 		resp.PrefixCache = agg
+	}
+	if fs.SpecPolicyEnabled {
+		resp.Policy = &policyMetrics{
+			LatencyIters:    fs.PolicyLatencyIters,
+			ThroughputIters: fs.PolicyThroughputIters,
+			SpecBudget:      fs.PolicySpecBudget,
+			TrackedRequests: fs.PolicyTrackedRequests,
+		}
 	}
 	return resp
 }

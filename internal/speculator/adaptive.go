@@ -82,57 +82,101 @@ func (a *AdaptiveSpeculator) Close() {
 	}
 }
 
-// Speculate grows a token tree best-first under the node budget. Each
-// wave scores the current tree with one SSM pass, ranks every (node,
-// token) extension by path probability, and admits the best ones; it
-// stops when the budget is exhausted or no candidate clears the
-// probability threshold.
+// Speculate grows a token tree best-first under the configured node
+// budget (see SpeculateBudget).
 func (a *AdaptiveSpeculator) Speculate(rootTok model.Token) *tree.Tree {
-	tr := tree.New(rootTok)
-	pathProb := map[tree.NodeID]float64{tr.Root(): 1}
+	return a.SpeculateBudget(rootTok, a.cfg)
+}
 
-	for tr.NumSpeculated() < a.cfg.MaxNodes {
+// frontierNode is the cached expansion state of one tree node within a
+// single SpeculateBudget call. The proposal distribution and the
+// candidate-token ordering of a node never change across waves (the
+// node's context is fixed once it is admitted), so both are derived
+// exactly once — earlier revisions re-cloned and re-ranked every node
+// every wave, including nodes already saturated at FanoutCap/MaxDepth.
+type frontierNode struct {
+	path  float64       // SSM path probability of the node's sequence
+	dist  []float32     // proposal distribution at the node (cloned once)
+	order []model.Token // positive-prob candidate tokens, best first; nil when depth-saturated
+	next  int           // index into order of the next unproposed token
+}
+
+// SpeculateBudget grows a token tree best-first under a caller-supplied
+// budget, letting a per-iteration policy reshape the tree without
+// rebuilding the speculator (the SSM session and its KV cache persist
+// across calls). Each wave scores the current tree with one SSM pass,
+// proposes for every unsaturated node its next unused tokens up to the
+// node's remaining fanout, ranks the proposals by path probability, and
+// admits the best ones; it stops when the budget is exhausted or no
+// candidate clears the probability threshold. Zero budget fields take
+// the package defaults (see AdaptiveConfig).
+func (a *AdaptiveSpeculator) SpeculateBudget(rootTok model.Token, cfg AdaptiveConfig) *tree.Tree {
+	cfg = cfg.withDefaults()
+	tr := tree.New(rootTok)
+	fr := []*frontierNode{{path: 1}}
+	scored := 0 // nodes whose frontier state has been derived
+
+	for tr.NumSpeculated() < cfg.MaxNodes {
+		// One SSM pass scores the whole tree; only nodes appended since
+		// the previous wave need their proposal state derived.
 		dists := a.session.DecodeTree(tr)
+		for id := scored; id < tr.Len(); id++ {
+			if tr.Node(id).Depth >= cfg.MaxDepth {
+				continue // depth-saturated: never extends, keep order nil
+			}
+			d := a.proposalDist(dists[id])
+			fr[id].dist = d
+			fr[id].order = topPositive(d, cfg.FanoutCap)
+		}
+		scored = tr.Len()
+
 		type cand struct {
 			parent tree.NodeID
-			tok    model.Token
-			prob   float32   // SSM token probability at parent
-			dist   []float32 // proposal distribution at parent
-			score  float64   // path probability
+			ord    int // index into the parent's candidate order
+			score  float64
 		}
 		var cands []cand
 		for id := 0; id < tr.Len(); id++ {
-			n := tr.Node(id)
-			if n.Depth >= a.cfg.MaxDepth || len(n.Children) >= a.cfg.FanoutCap {
+			f := fr[id]
+			if f.order == nil {
 				continue
 			}
-			d := a.proposalDist(dists[id])
-			// Consider the top few unused tokens of this node.
-			for _, tok := range topUnused(tr, id, d, a.cfg.FanoutCap) {
-				score := pathProb[id] * float64(d[tok])
-				if a.cfg.MinPathProb > 0 && score < a.cfg.MinPathProb {
-					continue
+			// Propose at most the node's remaining fanout room, so one
+			// wave can never admit past FanoutCap.
+			room := cfg.FanoutCap - len(tr.Node(id).Children)
+			for k := f.next; k < len(f.order) && k-f.next < room; k++ {
+				score := f.path * float64(f.dist[f.order[k]])
+				if cfg.MinPathProb > 0 && score < cfg.MinPathProb {
+					break // order is descending: the rest score lower still
 				}
-				cands = append(cands, cand{parent: id, tok: tok, prob: d[tok], dist: d, score: score})
+				cands = append(cands, cand{parent: id, ord: k, score: score})
 			}
 		}
 		if len(cands) == 0 {
 			break
 		}
-		sort.Slice(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+		sort.SliceStable(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
 		// Admit up to half the remaining budget per wave so later waves
 		// can react to the deeper frontier, but always at least one.
-		admit := (a.cfg.MaxNodes - tr.NumSpeculated() + 1) / 2
+		admit := (cfg.MaxNodes - tr.NumSpeculated() + 1) / 2
 		if admit < 1 {
 			admit = 1
 		}
 		added := 0
 		for _, c := range cands {
-			if added == admit || tr.NumSpeculated() == a.cfg.MaxNodes {
+			if added == admit || tr.NumSpeculated() == cfg.MaxNodes {
 				break
 			}
-			id := tr.AddChildDist(c.parent, c.tok, c.prob, 0, c.dist)
-			pathProb[id] = c.score
+			f := fr[c.parent]
+			tok := f.order[c.ord]
+			if tr.ChildWithToken(c.parent, tok) != -1 {
+				continue // already admitted (defensive: order tokens are distinct)
+			}
+			tr.AddChildDist(c.parent, tok, f.dist[tok], 0, f.dist)
+			fr = append(fr, &frontierNode{path: c.score})
+			if c.ord >= f.next {
+				f.next = c.ord + 1
+			}
 			added++
 		}
 		if added == 0 {
@@ -158,22 +202,20 @@ func (a *AdaptiveSpeculator) proposalDist(raw []float32) []float32 {
 	return a.sample.Transform(raw)
 }
 
-// topUnused returns up to limit highest-probability tokens of d that are
-// not already children of node id.
-func topUnused(tr *tree.Tree, id tree.NodeID, d []float32, limit int) []model.Token {
+// topPositive returns up to k positive-probability tokens of d in
+// descending probability order — a node's complete candidate list, since
+// it can never receive more than FanoutCap children. The fixed ordering
+// replaces the old per-wave topUnused shortlist, whose
+// limit+len(children) sizing could under-return eligible tokens when
+// existing children and zero-probability entries both landed inside the
+// shortlist.
+func topPositive(d []float32, k int) []model.Token {
 	var out []model.Token
-	// Scan a shortlist larger than limit to skip existing children.
-	for _, tok := range tensor.TopK(d, limit+len(tr.Node(id).Children)) {
+	for _, tok := range tensor.TopK(d, k) {
 		if d[tok] <= 0 {
-			break
-		}
-		if tr.ChildWithToken(id, tok) != -1 {
-			continue
+			break // TopK is descending: the rest are non-positive too
 		}
 		out = append(out, tok)
-		if len(out) == limit {
-			break
-		}
 	}
 	return out
 }

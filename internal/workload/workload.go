@@ -266,6 +266,46 @@ func (m *Markov) Trace(rng *tensor.RNG, n, promptLen, maxNew int) []Request {
 	return reqs
 }
 
+// BurstyTrace builds a request trace plus its arrival schedule in the
+// two-phase rhythm of interactive serving traffic: each of `bursts`
+// rounds opens with `burstSize` simultaneous arrivals — the admission
+// queue piles up and verification runs batch-contended — and then, once
+// `settle` seconds have passed, trickles `trickle` solitary requests
+// `gap` seconds apart, during which the batch runs underfull. This is
+// the trace shape the per-iteration speculation policy exists for: the
+// same serving run alternates between a throughput-bound and a
+// latency-bound regime, so no single static tree shape is right for
+// both. Arrivals are in seconds, arrivals[i] belonging to reqs[i];
+// Group records each request's burst round.
+func (m *Markov) BurstyTrace(rng *tensor.RNG, bursts, burstSize, trickle, promptLen, maxNew int, settle, gap float64) ([]Request, []float64) {
+	if bursts < 1 || burstSize < 1 {
+		panic("workload: BurstyTrace needs at least one burst of at least one request")
+	}
+	if settle < 0 || gap < 0 {
+		panic("workload: BurstyTrace needs non-negative settle and gap times")
+	}
+	var reqs []Request
+	var arrivals []float64
+	t := 0.0
+	for b := 0; b < bursts; b++ {
+		for i := 0; i < burstSize; i++ {
+			reqs = append(reqs, Request{
+				ID: len(reqs), Prompt: m.Generate(rng, promptLen), MaxNewTok: maxNew, Group: b,
+			})
+			arrivals = append(arrivals, t)
+		}
+		t += settle
+		for i := 0; i < trickle; i++ {
+			reqs = append(reqs, Request{
+				ID: len(reqs), Prompt: m.Generate(rng, promptLen), MaxNewTok: maxNew, Group: b,
+			})
+			arrivals = append(arrivals, t)
+			t += gap
+		}
+	}
+	return reqs, arrivals
+}
+
 // SharedPrefixTrace builds a trace of n requests whose prompts all open
 // with the SAME prefixLen-token prefix and diverge into per-request
 // suffixLen-token continuations — the system-prompt / few-shot-template

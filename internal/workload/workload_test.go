@@ -325,3 +325,65 @@ func TestSharedPrefixTraceIsGroupedK1(t *testing.T) {
 		}()
 	}
 }
+
+// TestBurstyTrace checks the burst/trickle arrival rhythm: per round,
+// burstSize simultaneous arrivals, then trickle singles spaced by gap
+// starting settle seconds after the burst, with Group recording the
+// round and arrivals non-decreasing across the whole trace.
+func TestBurstyTrace(t *testing.T) {
+	mk := NewMarkov(DatasetByName("Alpaca"))
+	const bursts, burstSize, trickle = 3, 4, 2
+	const settle, gap = 10.0, 2.5
+	reqs, arrivals := mk.BurstyTrace(tensor.NewRNG(7), bursts, burstSize, trickle, 8, 16, settle, gap)
+	if len(reqs) != bursts*(burstSize+trickle) || len(arrivals) != len(reqs) {
+		t.Fatalf("got %d requests / %d arrivals, want %d", len(reqs), len(arrivals), bursts*(burstSize+trickle))
+	}
+	i := 0
+	roundStart := 0.0
+	for b := 0; b < bursts; b++ {
+		for k := 0; k < burstSize; k++ {
+			if arrivals[i] != roundStart {
+				t.Fatalf("burst %d request %d arrives at %v, want %v", b, k, arrivals[i], roundStart)
+			}
+			i++
+		}
+		for k := 0; k < trickle; k++ {
+			want := roundStart + settle + float64(k)*gap
+			if math.Abs(arrivals[i]-want) > 1e-9 {
+				t.Fatalf("trickle %d/%d arrives at %v, want %v", b, k, arrivals[i], want)
+			}
+			i++
+		}
+		roundStart += settle + float64(trickle)*gap
+	}
+	for j, r := range reqs {
+		if r.ID != j || r.Group != j/(burstSize+trickle) || len(r.Prompt) != 8 || r.MaxNewTok != 16 {
+			t.Fatalf("request %d malformed: %+v", j, r)
+		}
+		if j > 0 && arrivals[j] < arrivals[j-1] {
+			t.Fatalf("arrivals not monotone at %d: %v < %v", j, arrivals[j], arrivals[j-1])
+		}
+	}
+
+	// Deterministic per seed.
+	again, _ := mk.BurstyTrace(tensor.NewRNG(7), bursts, burstSize, trickle, 8, 16, settle, gap)
+	for j := range reqs {
+		if fmt.Sprint(reqs[j].Prompt) != fmt.Sprint(again[j].Prompt) {
+			t.Fatalf("trace not deterministic at request %d", j)
+		}
+	}
+
+	for name, bad := range map[string]func(){
+		"zero burst":      func() { mk.BurstyTrace(tensor.NewRNG(1), 0, 1, 0, 4, 4, 1, 1) },
+		"negative settle": func() { mk.BurstyTrace(tensor.NewRNG(1), 1, 1, 0, 4, 4, -1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			bad()
+		}()
+	}
+}
